@@ -1,0 +1,39 @@
+// Ablation: the CPU/GPU pipeline overlap of paper Fig. 12 — overlapped vs
+// serial totals as the database is cut into more blocks. More blocks give
+// finer-grained overlap (less head/tail loss) until per-block overheads
+// dominate.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  util::Options options(argc, argv);
+  const auto setup = benchx::BenchSetup::from_options(options);
+  benchx::print_banner(
+      "Ablation: CPU/GPU pipeline overlap vs database blocking",
+      "(design study for paper Fig. 12) overlap hides CPU time behind GPU "
+      "kernels; benefit grows with block count, then saturates",
+      setup);
+
+  const auto w = benchx::make_workload(setup, 517, /*env_nr=*/false);
+
+  util::Table table({"db blocks", "serial total (ms)",
+                     "overlapped total (ms)", "hidden"});
+  for (const std::size_t blocks : {1u, 2u, 4u, 8u, 16u}) {
+    auto config = benchx::default_cublastp_config();
+    config.db_blocks = blocks;
+    const auto report = core::CuBlastp(config).search(w.query, w.db);
+    table.add_row(
+        {std::to_string(blocks),
+         util::Table::num(report.serial_total_seconds * 1e3, 2),
+         util::Table::num(report.overlapped_total_seconds * 1e3, 2),
+         util::Table::num((1.0 - report.overlapped_total_seconds /
+                                     report.serial_total_seconds) *
+                              100.0,
+                          1) +
+             "%"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,82 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+namespace repro::benchx {
+
+BenchSetup BenchSetup::from_options(const util::Options& options) {
+  BenchSetup setup;
+  setup.swissprot_seqs = static_cast<std::size_t>(
+      options.get_int("swissprot", static_cast<std::int64_t>(
+                                       setup.swissprot_seqs)));
+  setup.env_nr_seqs = static_cast<std::size_t>(
+      options.get_int("env_nr", static_cast<std::int64_t>(
+                                    setup.env_nr_seqs)));
+  setup.seed = static_cast<std::uint64_t>(options.get_int(
+      "seed", static_cast<std::int64_t>(setup.seed)));
+  if (options.has("quick")) {
+    setup.swissprot_seqs = std::max<std::size_t>(50, setup.swissprot_seqs / 4);
+    setup.env_nr_seqs = std::max<std::size_t>(100, setup.env_nr_seqs / 4);
+  }
+  return setup;
+}
+
+Workload make_workload(const BenchSetup& setup, std::size_t query_length,
+                       bool env_nr) {
+  Workload w;
+  const auto query = bio::make_benchmark_query(query_length);
+  w.query_name = query.id;
+  w.query = query.residues;
+  auto profile =
+      env_nr ? bio::DatabaseProfile::env_nr_like(setup.env_nr_seqs)
+             : bio::DatabaseProfile::swissprot_like(setup.swissprot_seqs);
+  // Benchmark workloads use a sparser homology density than the generator
+  // default so that, as on the paper's real NCBI data, the critical phases
+  // dominate the profile rather than the gapped stage.
+  profile.homolog_fraction = env_nr ? 0.002 : 0.004;
+  w.db_name = profile.name;
+  bio::DatabaseGenerator gen(profile,
+                             setup.seed ^ (env_nr ? 0xE01ULL : 0x501ULL) ^
+                                 query_length);
+  w.db = gen.generate(w.query);
+  return w;
+}
+
+core::Config default_cublastp_config() {
+  core::Config config;
+  config.num_bins_per_warp = 128;
+  config.strategy = core::ExtensionStrategy::kWindow;
+  config.scoring = core::ScoringMode::kAuto;
+  config.use_readonly_cache = true;
+  config.db_blocks = 4;
+  config.cpu_threads = 4;
+  config.detection_blocks = 8;
+  config.detection_block_threads = 256;
+  return config;
+}
+
+baselines::CoarseConfig default_coarse_config() {
+  baselines::CoarseConfig config;
+  config.grid_blocks = 8;
+  config.block_threads = 128;
+  config.db_blocks = 4;
+  config.block_output_capacity = 1 << 15;
+  return config;
+}
+
+void print_banner(const std::string& figure, const std::string& paper_claim,
+                  const BenchSetup& setup) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", figure.c_str());
+  std::printf("Paper reports: %s\n", paper_claim.c_str());
+  std::printf("Workload scale: swissprot-like %zu seqs, env_nr-like %zu seqs, "
+              "seed %llu\n",
+              setup.swissprot_seqs, setup.env_nr_seqs,
+              static_cast<unsigned long long>(setup.seed));
+  std::printf("(GPU times are modeled on a simulated K20c; CPU times are\n"
+              " host-measured with T-worker makespan scheduling. Compare\n"
+              " shapes and ratios, not absolute values. See EXPERIMENTS.md.)\n");
+  std::printf("================================================================\n");
+}
+
+}  // namespace repro::benchx

@@ -1,0 +1,61 @@
+// Shared plumbing for the figure benches: workload construction at a
+// configurable scale, engine configurations, and table/figure headers.
+//
+// Every bench accepts:
+//   --swissprot=N   sequences in the swissprot-like database (default 2500)
+//   --env_nr=N      sequences in the env_nr-like database (default 6000)
+//   --seed=S        generator seed (default 2014, the paper's year)
+//   --quick         quarter-scale run for smoke testing
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/coarse_gpu.hpp"
+#include "baselines/cpu.hpp"
+#include "bio/generator.hpp"
+#include "core/cublastp.hpp"
+#include "core/kernels.hpp"
+#include "util/options.hpp"
+#include "util/table.hpp"
+
+namespace repro::benchx {
+
+/// The paper's three benchmark queries (§4): short / medium / long.
+inline constexpr std::size_t kQueryLengths[] = {127, 517, 1054};
+
+struct BenchSetup {
+  std::size_t swissprot_seqs = 2500;
+  std::size_t env_nr_seqs = 6000;
+  std::uint64_t seed = 2014;
+
+  static BenchSetup from_options(const util::Options& options);
+};
+
+struct Workload {
+  std::string query_name;
+  std::string db_name;
+  std::vector<std::uint8_t> query;
+  bio::SequenceDatabase db;
+};
+
+/// Builds "queryL vs swissprot-like" or "queryL vs env_nr-like".
+[[nodiscard]] Workload make_workload(const BenchSetup& setup,
+                                     std::size_t query_length,
+                                     bool env_nr);
+
+/// The cuBLASTP configuration used across benches (paper defaults:
+/// 128 bins/warp, window-based extension, read-only cache on, 4 CPU
+/// threads, automatic scoring-structure choice).
+[[nodiscard]] core::Config default_cublastp_config();
+
+/// The coarse-baseline configuration used across benches.
+[[nodiscard]] baselines::CoarseConfig default_coarse_config();
+
+/// Prints the standard bench banner: figure id, what the paper reports,
+/// and what this reproduction measures.
+void print_banner(const std::string& figure, const std::string& paper_claim,
+                  const BenchSetup& setup);
+
+}  // namespace repro::benchx

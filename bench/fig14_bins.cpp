@@ -1,0 +1,42 @@
+// Figure 14: kernel execution time vs bins-per-warp (32, 64, 128, 256) for
+// query517 on the swissprot database.
+//
+// Paper: hit sorting and hit filtering improve monotonically with more
+// bins (smaller segments to sort, more parallelism), but hit detection
+// degrades sharply past 128 bins because the per-warp top[] counters eat
+// shared memory and depress occupancy; 128 bins/warp minimizes the total.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  util::Options options(argc, argv);
+  const auto setup = benchx::BenchSetup::from_options(options);
+  benchx::print_banner(
+      "Figure 14: kernel time vs bins per warp (query517, swissprot)",
+      "sorting+filtering improve with more bins; detection collapses past "
+      "128 bins (shared memory vs occupancy); total is best at 128",
+      setup);
+
+  const auto w = benchx::make_workload(setup, 517, /*env_nr=*/false);
+
+  util::Table table({"bins/warp", "detection (ms)", "sorting (ms)",
+                     "filtering (ms)", "extension (ms)", "total kernels (ms)",
+                     "detection occupancy"});
+  for (const int bins : {32, 64, 128, 256}) {
+    auto config = benchx::default_cublastp_config();
+    config.num_bins_per_warp = bins;
+    const auto report = core::CuBlastp(config).search(w.query, w.db);
+    table.add_row(
+        {std::to_string(bins), util::Table::num(report.detection_ms, 2),
+         util::Table::num(report.sorting_group_ms(), 2),
+         util::Table::num(report.filter_ms, 2),
+         util::Table::num(report.extension_ms, 2),
+         util::Table::num(report.gpu_critical_ms(), 2),
+         util::Table::num(
+             report.profile.at(core::kKernelDetection).occupancy, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Figure 17: hierarchical buffering — kernel time with and without the
+// Kepler read-only cache holding the DFA query positions.
+//
+// Paper: cuBLASTP improves for every query length when the read-only
+// cache is enabled.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  util::Options options(argc, argv);
+  const auto setup = benchx::BenchSetup::from_options(options);
+  benchx::print_banner(
+      "Figure 17: read-only cache on/off (hierarchical buffering, "
+      "swissprot)",
+      "enabling the read-only cache for the DFA improves every query",
+      setup);
+
+  util::Table table({"query", "without ro-cache (ms)", "with ro-cache (ms)",
+                     "improvement", "ro-cache hit ratio"});
+  for (const std::size_t qlen : benchx::kQueryLengths) {
+    const auto w = benchx::make_workload(setup, qlen, /*env_nr=*/false);
+
+    auto off = benchx::default_cublastp_config();
+    off.use_readonly_cache = false;
+    const auto without = core::CuBlastp(off).search(w.query, w.db);
+
+    auto on = benchx::default_cublastp_config();
+    on.use_readonly_cache = true;
+    const auto with = core::CuBlastp(on).search(w.query, w.db);
+
+    table.add_row(
+        {w.query_name, util::Table::num(without.gpu_critical_ms(), 2),
+         util::Table::num(with.gpu_critical_ms(), 2),
+         util::Table::num((without.gpu_critical_ms() /
+                               with.gpu_critical_ms() -
+                           1.0) *
+                              100.0,
+                          1) +
+             "%",
+         util::Table::num(
+             with.profile.at(core::kKernelDetection).rocache_hit_ratio(),
+             3)});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

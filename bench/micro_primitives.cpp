@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark) of the building blocks: lookup-table
+// construction, DFA scan, ungapped/gapped extension, the SIMT primitives
+// (device scan, segmented sort), and the makespan scheduler. These are
+// host wall-clock benchmarks of the implementation itself (not modeled
+// device time).
+#include <benchmark/benchmark.h>
+
+#include "bio/generator.hpp"
+#include "bio/karlin.hpp"
+#include "bio/pssm.hpp"
+#include "blast/gapped.hpp"
+#include "blast/seeding.hpp"
+#include "blast/ungapped.hpp"
+#include "blast/wordlookup.hpp"
+#include "gpualgo/scan.hpp"
+#include "gpualgo/segsort.hpp"
+#include "simt/device_buffer.hpp"
+#include "util/makespan.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace repro;
+
+void BM_WordLookupBuild(benchmark::State& state) {
+  const auto query =
+      bio::make_benchmark_query(static_cast<std::size_t>(state.range(0)))
+          .residues;
+  const blast::SearchParams params;
+  for (auto _ : state) {
+    blast::WordLookup lookup(query, bio::Blosum62::instance(), params);
+    benchmark::DoNotOptimize(lookup.total_entries());
+  }
+}
+BENCHMARK(BM_WordLookupBuild)->Arg(127)->Arg(517)->Arg(1054);
+
+void BM_DfaScan(benchmark::State& state) {
+  const auto query = bio::make_benchmark_query(517).residues;
+  const blast::SearchParams params;
+  const blast::WordLookup lookup(query, bio::Blosum62::instance(), params);
+  const blast::Dfa dfa(lookup);
+  util::Rng rng(7);
+  const auto subject =
+      bio::random_protein(static_cast<std::size_t>(state.range(0)), rng);
+  for (auto _ : state) {
+    std::uint64_t hits = 0;
+    blast::scan_subject_dfa(dfa, subject,
+                            [&](std::uint32_t, std::uint32_t) { ++hits; });
+    benchmark::DoNotOptimize(hits);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(subject.size()));
+}
+BENCHMARK(BM_DfaScan)->Arg(370)->Arg(2000);
+
+void BM_UngappedExtension(benchmark::State& state) {
+  const auto query = bio::make_benchmark_query(517).residues;
+  const bio::Pssm pssm(query, bio::Blosum62::instance());
+  const blast::SearchParams params;
+  util::Rng rng(11);
+  const auto subject = bio::random_protein(370, rng);
+  for (auto _ : state) {
+    const auto ext = blast::extend_ungapped(
+        pssm, subject, 0,
+        static_cast<std::uint32_t>(rng.below(query.size() - 3)),
+        static_cast<std::uint32_t>(rng.below(subject.size() - 3)), params);
+    benchmark::DoNotOptimize(ext.score);
+  }
+}
+BENCHMARK(BM_UngappedExtension);
+
+void BM_GappedExtension(benchmark::State& state) {
+  util::Rng rng(13);
+  auto query = bio::random_protein(400, rng);
+  auto subject = bio::random_protein(80, rng);
+  auto fragment = bio::mutate_fragment(std::span(query).subspan(100, 200),
+                                       0.2, 0.03, rng);
+  subject.insert(subject.begin() + 40, fragment.begin(), fragment.end());
+  const bio::Pssm pssm(query, bio::Blosum62::instance());
+  const blast::SearchParams params;
+  for (auto _ : state) {
+    const auto score = blast::gapped_score(pssm, subject, 200, 140, params);
+    benchmark::DoNotOptimize(score.score);
+  }
+}
+BENCHMARK(BM_GappedExtension);
+
+void BM_GappedTraceback(benchmark::State& state) {
+  util::Rng rng(17);
+  auto query = bio::random_protein(400, rng);
+  auto subject = bio::random_protein(80, rng);
+  auto fragment = bio::mutate_fragment(std::span(query).subspan(100, 200),
+                                       0.2, 0.03, rng);
+  subject.insert(subject.begin() + 40, fragment.begin(), fragment.end());
+  const bio::Pssm pssm(query, bio::Blosum62::instance());
+  const blast::SearchParams params;
+  for (auto _ : state) {
+    const auto alignment =
+        blast::gapped_traceback(pssm, subject, 0, 200, 140, params);
+    benchmark::DoNotOptimize(alignment.score);
+  }
+}
+BENCHMARK(BM_GappedTraceback);
+
+void BM_DeviceScan(benchmark::State& state) {
+  simt::DeviceVector<std::uint32_t> input(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    simt::Engine engine;
+    const auto out = gpualgo::exclusive_scan_device(engine, input);
+    benchmark::DoNotOptimize(out.back());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DeviceScan)->Arg(1024)->Arg(16384);
+
+void BM_SegmentedSort(benchmark::State& state) {
+  util::Rng rng(19);
+  std::vector<std::uint64_t> master;
+  std::vector<std::uint32_t> offsets{0};
+  for (int s = 0; s < static_cast<int>(state.range(0)); ++s) {
+    const std::size_t n = rng.below(128);
+    const std::uint32_t padded =
+        n == 0 ? 0 : gpualgo::next_pow2(static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < padded; ++i)
+      master.push_back(i < n ? (rng() >> 1) : gpualgo::kSortPad);
+    offsets.push_back(static_cast<std::uint32_t>(master.size()));
+  }
+  for (auto _ : state) {
+    auto data = master;
+    simt::Engine engine;
+    gpualgo::segmented_sort_u64(engine, data, offsets);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(master.size()));
+}
+BENCHMARK(BM_SegmentedSort)->Arg(64)->Arg(512);
+
+void BM_MakespanSchedule(benchmark::State& state) {
+  util::Rng rng(23);
+  std::vector<double> costs(10000);
+  for (auto& c : costs) c = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(util::list_schedule_makespan(costs, 4));
+  }
+}
+BENCHMARK(BM_MakespanSchedule);
+
+void BM_PssmBuild(benchmark::State& state) {
+  const auto query = bio::make_benchmark_query(1054).residues;
+  for (auto _ : state) {
+    bio::Pssm pssm(query, bio::Blosum62::instance());
+    benchmark::DoNotOptimize(pssm.device_bytes());
+  }
+}
+BENCHMARK(BM_PssmBuild);
+
+void BM_KarlinLambdaSolve(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bio::solve_ungapped_lambda(
+        bio::Blosum62::instance(), bio::background_frequencies()));
+  }
+}
+BENCHMARK(BM_KarlinLambdaSolve);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+// Database tools: generate a synthetic protein database to FASTA, or
+// inspect an existing FASTA database (length distribution, residue
+// composition) — the utilities used to stand in for the NCBI downloads
+// this reproduction cannot fetch.
+//
+//   ./database_tools generate --out=db.fasta [--seqs=N] [--env_nr]
+//                             [--plant_query_len=N]
+//   ./database_tools inspect --in=db.fasta
+#include <cstdio>
+
+#include <array>
+
+#include "bio/alphabet.hpp"
+#include "bio/fasta.hpp"
+#include "bio/generator.hpp"
+#include "util/options.hpp"
+#include "util/stats.hpp"
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  util::Options options(argc, argv);
+  const auto& positional = options.positional();
+  const std::string mode = positional.empty() ? "generate" : positional[0];
+
+  if (mode == "generate") {
+    const auto seqs = static_cast<std::size_t>(options.get_int("seqs", 1000));
+    auto profile = options.has("env_nr")
+                       ? bio::DatabaseProfile::env_nr_like(seqs)
+                       : bio::DatabaseProfile::swissprot_like(seqs);
+    bio::DatabaseGenerator gen(
+        profile, static_cast<std::uint64_t>(options.get_int("seed", 1)));
+    std::vector<std::uint8_t> query;
+    if (options.has("plant_query_len")) {
+      query = bio::make_benchmark_query(static_cast<std::size_t>(
+                                            options.get_int(
+                                                "plant_query_len", 517)))
+                  .residues;
+    }
+    const auto db = gen.generate(query);
+    std::vector<bio::Sequence> records;
+    records.reserve(db.size());
+    for (std::size_t i = 0; i < db.size(); ++i)
+      records.push_back(db.sequence(i));
+    const std::string out = options.get("out", "db.fasta");
+    bio::write_fasta_file(out, records);
+    std::printf("wrote %zu sequences (%.2f MB of residues) to %s\n",
+                db.size(), static_cast<double>(db.total_residues()) / 1e6,
+                out.c_str());
+    return 0;
+  }
+
+  if (mode == "inspect") {
+    const std::string in = options.get("in", "db.fasta");
+    const bio::SequenceDatabase db(bio::read_fasta_file(in));
+    std::printf("%s: %zu sequences, %llu residues, average length %.1f, "
+                "max %zu\n\n",
+                in.c_str(), db.size(),
+                static_cast<unsigned long long>(db.total_residues()),
+                db.average_length(), db.max_length());
+
+    util::Histogram lengths(0, 2000, 20);
+    std::array<double, bio::kAlphabetSize> composition{};
+    for (std::size_t i = 0; i < db.size(); ++i) {
+      lengths.add(static_cast<double>(db.length(i)));
+      for (const auto r : db.residues(i)) composition[r] += 1.0;
+    }
+    std::printf("length distribution:\n%s\n", lengths.render(40).c_str());
+    std::printf("residue composition (top rows):\n");
+    for (int aa = 0; aa < bio::kNumRealAminoAcids; ++aa)
+      std::printf("  %c: %5.2f%%\n", bio::decode_letter(
+                                         static_cast<std::uint8_t>(aa)),
+                  100.0 * composition[static_cast<std::size_t>(aa)] /
+                      static_cast<double>(db.total_residues()));
+    return 0;
+  }
+
+  std::fprintf(stderr, "usage: database_tools generate|inspect [options]\n");
+  return 2;
+}

@@ -1,0 +1,32 @@
+// CPU comparators from the paper's evaluation:
+//
+//  * fsa_blast_search — single-threaded FSA-BLAST: the interleaved
+//    column-major hit-detection + ungapped-extension loop of paper
+//    Algorithm 1 / Fig. 3, then gapped extension and traceback. This is the
+//    reproduction's correctness anchor: every other engine must produce an
+//    identical SearchResult (paper §4.3: "the output of cuBLASTP is
+//    identical to the output of FSA-BLAST").
+//
+//  * ncbi_mt_search — NCBI-BLAST-style multithreading: the same algorithm
+//    with the database sharded dynamically across a thread pool. Phase
+//    timings are the T-worker makespan of the measured per-task costs (see
+//    util/makespan.hpp for why wall-clock cannot scale on this machine).
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bio/database.hpp"
+#include "blast/types.hpp"
+
+namespace repro::baselines {
+
+[[nodiscard]] blast::SearchResult fsa_blast_search(
+    std::span<const std::uint8_t> query, const bio::SequenceDatabase& db,
+    const blast::SearchParams& params);
+
+[[nodiscard]] blast::SearchResult ncbi_mt_search(
+    std::span<const std::uint8_t> query, const bio::SequenceDatabase& db,
+    const blast::SearchParams& params, std::size_t threads);
+
+}  // namespace repro::baselines

@@ -1,0 +1,91 @@
+#include "bio/alphabet.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace repro::bio {
+
+namespace {
+
+constexpr std::array<std::int8_t, 128> build_encode_table() {
+  std::array<std::int8_t, 128> table{};
+  for (auto& e : table) e = -1;
+  for (int i = 0; i < kAlphabetSize; ++i) {
+    const char c = kLetters[static_cast<std::size_t>(i)];
+    table[static_cast<std::size_t>(c)] = static_cast<std::int8_t>(i);
+    if (c >= 'A' && c <= 'Z')
+      table[static_cast<std::size_t>(c - 'A' + 'a')] =
+          static_cast<std::int8_t>(i);
+  }
+  // Rare residues map to X.
+  for (const char c : {'U', 'u', 'O', 'o', 'J', 'j'})
+    table[static_cast<std::size_t>(c)] = static_cast<std::int8_t>(kCodeX);
+  return table;
+}
+
+constexpr auto kEncodeTable = build_encode_table();
+
+}  // namespace
+
+std::optional<std::uint8_t> encode_letter(char c) {
+  const auto u = static_cast<unsigned char>(c);
+  if (u >= 128) return std::nullopt;
+  const std::int8_t code = kEncodeTable[u];
+  if (code < 0) return std::nullopt;
+  return static_cast<std::uint8_t>(code);
+}
+
+char decode_letter(std::uint8_t code) {
+  return code < kAlphabetSize ? kLetters[code] : '?';
+}
+
+std::vector<std::uint8_t> encode_string(std::string_view s) {
+  std::vector<std::uint8_t> out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (std::isspace(static_cast<unsigned char>(c))) continue;
+    const auto code = encode_letter(c);
+    if (!code)
+      throw std::invalid_argument(std::string("not a residue letter: ") + c);
+    out.push_back(*code);
+  }
+  return out;
+}
+
+std::string decode_string(const std::vector<std::uint8_t>& v) {
+  std::string out;
+  out.reserve(v.size());
+  for (const auto code : v) out.push_back(decode_letter(code));
+  return out;
+}
+
+const std::array<double, kAlphabetSize>& background_frequencies() {
+  // Robinson & Robinson 1991 frequencies in our ACDEFGHIKLMNPQRSTVWY order.
+  static const std::array<double, kAlphabetSize> kFreqs = [] {
+    std::array<double, kAlphabetSize> f{};
+    f[0] = 0.07805;   // A
+    f[1] = 0.01925;   // C
+    f[2] = 0.05364;   // D
+    f[3] = 0.06295;   // E
+    f[4] = 0.03856;   // F
+    f[5] = 0.07377;   // G
+    f[6] = 0.02199;   // H
+    f[7] = 0.05142;   // I
+    f[8] = 0.05744;   // K
+    f[9] = 0.09019;   // L
+    f[10] = 0.02243;  // M
+    f[11] = 0.04487;  // N
+    f[12] = 0.05203;  // P
+    f[13] = 0.04264;  // Q
+    f[14] = 0.05129;  // R
+    f[15] = 0.07120;  // S
+    f[16] = 0.05841;  // T
+    f[17] = 0.06441;  // V
+    f[18] = 0.01330;  // W
+    f[19] = 0.03216;  // Y
+    return f;
+  }();
+  return kFreqs;
+}
+
+}  // namespace repro::bio

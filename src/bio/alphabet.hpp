@@ -1,0 +1,52 @@
+// The amino-acid alphabet used throughout the library.
+//
+// We use the 24-symbol BLAST protein alphabet: the 20 standard amino acids,
+// the ambiguity codes B (Asx) and Z (Glx), the unknown residue X, and the
+// stop/gap sentinel '*'. Rare letters (U, O, J) map to X on encode, as NCBI
+// BLAST does. Sequences are stored as dense uint8_t codes in [0, 24).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace repro::bio {
+
+/// Number of symbols in the encoded alphabet.
+inline constexpr int kAlphabetSize = 24;
+
+/// Number of *standard* amino acids (codes [0, 20)); neighborhood-word
+/// enumeration for seeding only ranges over these, as in NCBI/FSA BLAST.
+inline constexpr int kNumRealAminoAcids = 20;
+
+/// Code of the unknown residue 'X'.
+inline constexpr std::uint8_t kCodeX = 22;
+
+/// Canonical letter order. Codes [0,20) are the standard amino acids in
+/// alphabetical one-letter order; then B, Z, X, *.
+inline constexpr std::string_view kLetters = "ACDEFGHIKLMNPQRSTVWYBZX*";
+
+/// Encodes one residue letter (case-insensitive). Unknown letters, U, O and
+/// J become X; digits/punctuation return nullopt.
+[[nodiscard]] std::optional<std::uint8_t> encode_letter(char c);
+
+/// Decodes a residue code back to its letter ('?' for out-of-range codes).
+[[nodiscard]] char decode_letter(std::uint8_t code);
+
+/// Encodes a whole string, skipping whitespace; throws std::invalid_argument
+/// on non-residue characters.
+[[nodiscard]] std::vector<std::uint8_t> encode_string(std::string_view s);
+
+/// Decodes a code vector to a letter string.
+[[nodiscard]] std::string decode_string(const std::vector<std::uint8_t>& v);
+
+/// Robinson & Robinson (1991) background amino-acid frequencies, indexed by
+/// residue code; ambiguity codes carry zero mass. Used by the synthetic
+/// database generator and by the Karlin–Altschul parameter solver.
+[[nodiscard]] const std::array<double, kAlphabetSize>&
+background_frequencies();
+
+}  // namespace repro::bio

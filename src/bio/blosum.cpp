@@ -1,0 +1,79 @@
+#include "bio/blosum.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <string_view>
+
+namespace repro::bio {
+
+namespace {
+
+// BLOSUM62 exactly as distributed by NCBI, in NCBI's letter order. Keeping
+// the table in its published order (and remapping programmatically) avoids
+// transcription errors.
+constexpr std::string_view kNcbiOrder = "ARNDCQEGHILKMFPSTWYVBZX*";
+
+constexpr std::int8_t kNcbiTable[24][24] = {
+    /*A*/ {4, -1, -2, -2, 0, -1, -1, 0, -2, -1, -1, -1, -1, -2, -1, 1, 0, -3, -2, 0, -2, -1, 0, -4},
+    /*R*/ {-1, 5, 0, -2, -3, 1, 0, -2, 0, -3, -2, 2, -1, -3, -2, -1, -1, -3, -2, -3, -1, 0, -1, -4},
+    /*N*/ {-2, 0, 6, 1, -3, 0, 0, 0, 1, -3, -3, 0, -2, -3, -2, 1, 0, -4, -2, -3, 3, 0, -1, -4},
+    /*D*/ {-2, -2, 1, 6, -3, 0, 2, -1, -1, -3, -4, -1, -3, -3, -1, 0, -1, -4, -3, -3, 4, 1, -1, -4},
+    /*C*/ {0, -3, -3, -3, 9, -3, -4, -3, -3, -1, -1, -3, -1, -2, -3, -1, -1, -2, -2, -1, -3, -3, -2, -4},
+    /*Q*/ {-1, 1, 0, 0, -3, 5, 2, -2, 0, -3, -2, 1, 0, -3, -1, 0, -1, -2, -1, -2, 0, 3, -1, -4},
+    /*E*/ {-1, 0, 0, 2, -4, 2, 5, -2, 0, -3, -3, 1, -2, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1, -4},
+    /*G*/ {0, -2, 0, -1, -3, -2, -2, 6, -2, -4, -4, -2, -3, -3, -2, 0, -2, -2, -3, -3, -1, -2, -1, -4},
+    /*H*/ {-2, 0, 1, -1, -3, 0, 0, -2, 8, -3, -3, -1, -2, -1, -2, -1, -2, -2, 2, -3, 0, 0, -1, -4},
+    /*I*/ {-1, -3, -3, -3, -1, -3, -3, -4, -3, 4, 2, -3, 1, 0, -3, -2, -1, -3, -1, 3, -3, -3, -1, -4},
+    /*L*/ {-1, -2, -3, -4, -1, -2, -3, -4, -3, 2, 4, -2, 2, 0, -3, -2, -1, -2, -1, 1, -4, -3, -1, -4},
+    /*K*/ {-1, 2, 0, -1, -3, 1, 1, -2, -1, -3, -2, 5, -1, -3, -1, 0, -1, -3, -2, -2, 0, 1, -1, -4},
+    /*M*/ {-1, -1, -2, -3, -1, 0, -2, -3, -2, 1, 2, -1, 5, 0, -2, -1, -1, -1, -1, 1, -3, -1, -1, -4},
+    /*F*/ {-2, -3, -3, -3, -2, -3, -3, -3, -1, 0, 0, -3, 0, 6, -4, -2, -2, 1, 3, -1, -3, -3, -1, -4},
+    /*P*/ {-1, -2, -2, -1, -3, -1, -1, -2, -2, -3, -3, -1, -2, -4, 7, -1, -1, -4, -3, -2, -2, -1, -2, -4},
+    /*S*/ {1, -1, 1, 0, -1, 0, 0, 0, -1, -2, -2, 0, -1, -2, -1, 4, 1, -3, -2, -2, 0, 0, 0, -4},
+    /*T*/ {0, -1, 0, -1, -1, -1, -1, -2, -2, -1, -1, -1, -1, -2, -1, 1, 5, -2, -2, 0, -1, -1, 0, -4},
+    /*W*/ {-3, -3, -4, -4, -2, -2, -3, -2, -2, -3, -2, -3, -1, 1, -4, -3, -2, 11, 2, -3, -4, -3, -2, -4},
+    /*Y*/ {-2, -2, -2, -3, -2, -1, -2, -3, 2, -1, -1, -2, -1, 3, -3, -2, -2, 2, 7, -1, -3, -2, -1, -4},
+    /*V*/ {0, -3, -3, -3, -1, -2, -2, -3, -3, 3, 1, -2, 1, -1, -2, -2, 0, -3, -1, 4, -3, -2, -1, -4},
+    /*B*/ {-2, -1, 3, 4, -3, 0, 1, -1, 0, -3, -4, 0, -3, -3, -2, 0, -1, -4, -3, -3, 4, 1, -1, -4},
+    /*Z*/ {-1, 0, 0, 1, -3, 3, 4, -2, 0, -3, -3, 1, -1, -3, -1, 0, -1, -3, -2, -2, 1, 4, -1, -4},
+    /*X*/ {0, -1, -1, -1, -2, -1, -1, -1, -1, -1, -1, -1, -1, -1, -2, 0, 0, -2, -1, -1, -1, -1, -1, -4},
+    /***/ {-4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, -4, 1},
+};
+
+}  // namespace
+
+Blosum62::Blosum62() {
+  // Map NCBI row/column order into this library's alphabet order.
+  std::array<std::uint8_t, 24> ncbi_to_ours{};
+  for (int i = 0; i < 24; ++i) {
+    const auto code = encode_letter(kNcbiOrder[static_cast<std::size_t>(i)]);
+    assert(code.has_value());
+    ncbi_to_ours[static_cast<std::size_t>(i)] = *code;
+  }
+  for (int i = 0; i < 24; ++i)
+    for (int j = 0; j < 24; ++j)
+      scores_[ncbi_to_ours[static_cast<std::size_t>(i)]]
+             [ncbi_to_ours[static_cast<std::size_t>(j)]] =
+          kNcbiTable[i][j];
+
+  // Padded 32x32 device layout; padding cells score like '*' mismatches so
+  // that an out-of-alphabet access is strongly penalized, never rewarded.
+  padded_.fill(-4);
+  for (int a = 0; a < kAlphabetSize; ++a)
+    for (int b = 0; b < kAlphabetSize; ++b)
+      padded_[static_cast<std::size_t>(a) * kPaddedMatrixDim +
+              static_cast<std::size_t>(b)] =
+          scores_[static_cast<std::size_t>(a)][static_cast<std::size_t>(b)];
+
+  max_score_ = 0;
+  for (const auto& row : scores_)
+    max_score_ = std::max(max_score_, *std::max_element(row.begin(),
+                                                        row.end()));
+}
+
+const Blosum62& Blosum62::instance() {
+  static const Blosum62 matrix;
+  return matrix;
+}
+
+}  // namespace repro::bio

@@ -1,0 +1,82 @@
+#include "bio/fasta.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "bio/alphabet.hpp"
+
+namespace repro::bio {
+
+std::vector<Sequence> read_fasta(std::istream& in) {
+  std::vector<Sequence> records;
+  std::string line;
+  bool have_record = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    if (line[0] == '>') {
+      Sequence seq;
+      const auto header = line.substr(1);
+      const auto space = header.find_first_of(" \t");
+      seq.id = header.substr(0, space);
+      if (space != std::string::npos) {
+        const auto start = header.find_first_not_of(" \t", space);
+        if (start != std::string::npos) seq.description = header.substr(start);
+      }
+      records.push_back(std::move(seq));
+      have_record = true;
+    } else {
+      if (!have_record)
+        throw std::invalid_argument("FASTA: sequence data before '>' header");
+      auto& res = records.back().residues;
+      for (const char c : line) {
+        if (std::isspace(static_cast<unsigned char>(c))) continue;
+        const auto code = encode_letter(c);
+        if (!code)
+          throw std::invalid_argument(
+              std::string("FASTA: invalid residue '") + c + "' in record " +
+              records.back().id);
+        res.push_back(*code);
+      }
+    }
+  }
+  return records;
+}
+
+std::vector<Sequence> read_fasta_string(const std::string& s) {
+  std::istringstream in(s);
+  return read_fasta(in);
+}
+
+std::vector<Sequence> read_fasta_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 std::size_t width) {
+  if (width == 0) width = 70;
+  for (const auto& seq : seqs) {
+    out << '>' << seq.id;
+    if (!seq.description.empty()) out << ' ' << seq.description;
+    out << '\n';
+    for (std::size_t i = 0; i < seq.residues.size(); i += width) {
+      const std::size_t end = std::min(seq.residues.size(), i + width);
+      for (std::size_t j = i; j < end; ++j)
+        out << decode_letter(seq.residues[j]);
+      out << '\n';
+    }
+  }
+}
+
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs, std::size_t width) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write FASTA file: " + path);
+  write_fasta(out, seqs, width);
+}
+
+}  // namespace repro::bio

@@ -1,0 +1,31 @@
+// FASTA reading and writing.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "bio/sequence.hpp"
+
+namespace repro::bio {
+
+/// Parses all records from a FASTA stream. Throws std::invalid_argument on
+/// malformed input (sequence data before the first header, bad residues).
+[[nodiscard]] std::vector<Sequence> read_fasta(std::istream& in);
+
+/// Convenience: parse from a string.
+[[nodiscard]] std::vector<Sequence> read_fasta_string(const std::string& s);
+
+/// Loads a FASTA file from disk. Throws std::runtime_error if unreadable.
+[[nodiscard]] std::vector<Sequence> read_fasta_file(const std::string& path);
+
+/// Writes records, wrapping residue lines at `width` letters.
+void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,
+                 std::size_t width = 70);
+
+/// Writes records to a file. Throws std::runtime_error if unwritable.
+void write_fasta_file(const std::string& path,
+                      const std::vector<Sequence>& seqs,
+                      std::size_t width = 70);
+
+}  // namespace repro::bio

@@ -1,0 +1,135 @@
+#include "bio/generator.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "bio/alphabet.hpp"
+
+namespace repro::bio {
+
+namespace {
+
+const std::array<double, kAlphabetSize>& background_cdf() {
+  static const std::array<double, kAlphabetSize> cdf = [] {
+    std::array<double, kAlphabetSize> out{};
+    const auto& f = background_frequencies();
+    double acc = 0.0;
+    for (int i = 0; i < kAlphabetSize; ++i) {
+      acc += f[static_cast<std::size_t>(i)];
+      out[static_cast<std::size_t>(i)] = acc;
+    }
+    return out;
+  }();
+  return cdf;
+}
+
+}  // namespace
+
+DatabaseProfile DatabaseProfile::swissprot_like(std::size_t num_sequences) {
+  DatabaseProfile p;
+  p.name = "swissprot_like";
+  p.num_sequences = num_sequences;
+  p.mean_length = 370.0;
+  p.length_shape = 2.2;
+  p.max_length = 5000;
+  p.homolog_fraction = 0.02;
+  return p;
+}
+
+DatabaseProfile DatabaseProfile::env_nr_like(std::size_t num_sequences) {
+  DatabaseProfile p;
+  p.name = "env_nr_like";
+  p.num_sequences = num_sequences;
+  p.mean_length = 200.0;
+  p.length_shape = 2.8;  // env_nr reads are more uniform in length
+  p.max_length = 2000;
+  p.homolog_fraction = 0.01;
+  return p;
+}
+
+std::uint8_t random_residue(util::Rng& rng) {
+  return static_cast<std::uint8_t>(rng.sample_cdf(background_cdf()));
+}
+
+std::vector<std::uint8_t> random_protein(std::size_t length,
+                                         util::Rng& rng) {
+  std::vector<std::uint8_t> out(length);
+  for (auto& r : out) r = random_residue(rng);
+  return out;
+}
+
+std::vector<std::uint8_t> mutate_fragment(
+    std::span<const std::uint8_t> fragment, double mutation_rate,
+    double indel_rate, util::Rng& rng) {
+  std::vector<std::uint8_t> out;
+  out.reserve(fragment.size() + 8);
+  for (const std::uint8_t residue : fragment) {
+    const double roll = rng.uniform();
+    if (roll < indel_rate / 2) {
+      continue;  // deletion
+    }
+    if (roll < indel_rate) {
+      out.push_back(random_residue(rng));  // insertion before the residue
+    }
+    out.push_back(rng.uniform() < mutation_rate ? random_residue(rng)
+                                                : residue);
+  }
+  return out;
+}
+
+DatabaseGenerator::DatabaseGenerator(DatabaseProfile profile,
+                                     std::uint64_t seed)
+    : profile_(std::move(profile)), rng_(seed) {}
+
+SequenceDatabase DatabaseGenerator::generate(
+    std::span<const std::uint8_t> query) {
+  std::vector<Sequence> seqs;
+  seqs.reserve(profile_.num_sequences);
+  const double scale = profile_.mean_length / profile_.length_shape;
+  for (std::size_t i = 0; i < profile_.num_sequences; ++i) {
+    auto len = static_cast<std::size_t>(
+        std::lround(rng_.gamma(profile_.length_shape, scale)));
+    len = std::clamp(len, profile_.min_length, profile_.max_length);
+    auto residues = random_protein(len, rng_);
+
+    const bool plant = !query.empty() && query.size() >= 10 &&
+                       rng_.uniform() < profile_.homolog_fraction;
+    if (plant) {
+      // Take a random query fragment covering at least 30 residues (or the
+      // whole query if shorter), mutate it, and splice it in.
+      const std::size_t min_frag = std::min<std::size_t>(30, query.size());
+      const std::size_t frag_len = static_cast<std::size_t>(
+          rng_.range(static_cast<std::int64_t>(min_frag),
+                     static_cast<std::int64_t>(query.size())));
+      const auto frag_start = static_cast<std::size_t>(
+          rng_.below(query.size() - frag_len + 1));
+      auto mutated =
+          mutate_fragment(query.subspan(frag_start, frag_len),
+                          profile_.mutation_rate, profile_.indel_rate, rng_);
+      const auto insert_at =
+          static_cast<std::size_t>(rng_.below(residues.size() + 1));
+      residues.insert(
+          residues.begin() + static_cast<std::ptrdiff_t>(insert_at),
+          mutated.begin(), mutated.end());
+    }
+
+    Sequence s;
+    s.id = profile_.name + "_" + std::to_string(i);
+    if (plant) s.description = "planted_homolog";
+    s.residues = std::move(residues);
+    seqs.push_back(std::move(s));
+  }
+  return SequenceDatabase(std::move(seqs));
+}
+
+Sequence make_benchmark_query(std::size_t length, std::uint64_t seed) {
+  util::Rng rng(seed ^ (0xabcd0000ULL + length));
+  Sequence q;
+  q.id = "query" + std::to_string(length);
+  q.description = "synthetic benchmark query";
+  q.residues = random_protein(length, rng);
+  return q;
+}
+
+}  // namespace repro::bio

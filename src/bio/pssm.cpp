@@ -1,0 +1,14 @@
+#include "bio/pssm.hpp"
+
+namespace repro::bio {
+
+Pssm::Pssm(std::span<const std::uint8_t> query, const Blosum62& matrix)
+    : length_(query.size()),
+      data_(query.size() * kPaddedMatrixDim, Score{-4}) {
+  for (std::size_t pos = 0; pos < length_; ++pos)
+    for (int aa = 0; aa < kAlphabetSize; ++aa)
+      data_[pos * kPaddedMatrixDim + static_cast<std::size_t>(aa)] =
+          matrix.score(query[pos], static_cast<std::uint8_t>(aa));
+}
+
+}  // namespace repro::bio

@@ -1,0 +1,19 @@
+// A single protein sequence: an identifier, a free-form description, and
+// the encoded residues.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace repro::bio {
+
+struct Sequence {
+  std::string id;           ///< accession-like identifier
+  std::string description;  ///< rest of the FASTA header line
+  std::vector<std::uint8_t> residues;  ///< encoded codes, see alphabet.hpp
+
+  [[nodiscard]] std::size_t length() const { return residues.size(); }
+};
+
+}  // namespace repro::bio

@@ -1,0 +1,45 @@
+// Gapped x-drop extension (paper phase 3) and alignment with traceback
+// (phase 4).
+//
+// From the seed point of a high-scoring ungapped extension, dynamic
+// programming with affine gaps extends in both directions, pruning cells
+// whose score falls more than X_g below the running best (Zhang et al.'s
+// x-drop band, as in NCBI BLAST). The traceback variant records per-cell
+// direction bytes inside the same band, so the score-only and traceback
+// passes provably agree — which keeps phase 3 (GPU-era score filter) and
+// phase 4 (final alignments) consistent across all engines.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bio/pssm.hpp"
+#include "blast/types.hpp"
+
+namespace repro::blast {
+
+/// Score and extent of a gapped extension (no traceback).
+struct GappedScore {
+  std::int32_t score = 0;
+  std::uint32_t q_start = 0, q_end = 0;  ///< inclusive
+  std::uint32_t s_start = 0, s_end = 0;  ///< inclusive
+};
+
+/// Score-only gapped extension from seed (qseed, sseed).
+[[nodiscard]] GappedScore gapped_score(const bio::Pssm& pssm,
+                                       std::span<const std::uint8_t> subject,
+                                       std::uint32_t qseed,
+                                       std::uint32_t sseed,
+                                       const SearchParams& params);
+
+/// Full gapped extension with traceback. Returns an Alignment with score,
+/// coordinates and the edit transcript; bit_score/evalue are left at zero
+/// for the caller (results.cpp) to fill in.
+[[nodiscard]] Alignment gapped_traceback(const bio::Pssm& pssm,
+                                         std::span<const std::uint8_t> subject,
+                                         std::uint32_t seq_index,
+                                         std::uint32_t qseed,
+                                         std::uint32_t sseed,
+                                         const SearchParams& params);
+
+}  // namespace repro::blast

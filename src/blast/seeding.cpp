@@ -1,0 +1,51 @@
+#include "blast/seeding.hpp"
+
+namespace repro::blast {
+
+std::uint64_t scan_subject(
+    const WordLookup& lookup, std::span<const std::uint8_t> subject,
+    const std::function<void(std::uint32_t, std::uint32_t)>& sink) {
+  const int w = lookup.word_length();
+  if (subject.size() < static_cast<std::size_t>(w)) return 0;
+  const std::size_t num_words = subject.size() - static_cast<std::size_t>(w) + 1;
+  for (std::size_t spos = 0; spos < num_words; ++spos) {
+    const std::uint32_t word =
+        WordLookup::word_index(subject.data() + spos, w);
+    for (const std::uint32_t qpos : lookup.positions(word))
+      sink(qpos, static_cast<std::uint32_t>(spos));
+  }
+  return num_words;
+}
+
+std::uint64_t scan_subject_dfa(
+    const Dfa& dfa, std::span<const std::uint8_t> subject,
+    const std::function<void(std::uint32_t, std::uint32_t)>& sink) {
+  const int w = dfa.lookup().word_length();
+  if (subject.size() < static_cast<std::size_t>(w)) return 0;
+  // Prime the state with the first W-1 letters, then feed one letter per
+  // word (exactly the walk of paper Fig. 2a).
+  std::uint16_t state = 0;
+  for (int i = 0; i < w - 1; ++i)
+    state = dfa.next_state(state, subject[static_cast<std::size_t>(i)]);
+  const std::size_t num_words = subject.size() - static_cast<std::size_t>(w) + 1;
+  for (std::size_t spos = 0; spos < num_words; ++spos) {
+    const std::uint8_t letter = subject[spos + static_cast<std::size_t>(w) - 1];
+    for (const std::uint32_t qpos : dfa.positions(state, letter))
+      sink(qpos, static_cast<std::uint32_t>(spos));
+    state = dfa.next_state(state, letter);
+  }
+  return num_words;
+}
+
+std::vector<Hit> collect_hits(const WordLookup& lookup,
+                              std::span<const std::uint8_t> subject,
+                              std::uint32_t seq_index) {
+  std::vector<Hit> hits;
+  scan_subject(lookup, subject,
+               [&](std::uint32_t qpos, std::uint32_t spos) {
+                 hits.push_back(Hit{seq_index, qpos, spos});
+               });
+  return hits;
+}
+
+}  // namespace repro::blast

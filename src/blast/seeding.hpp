@@ -1,0 +1,36 @@
+// Scalar hit detection: the column-major subject scan of classic BLASTP
+// (paper Fig. 3). Used directly by the CPU baselines and as the reference
+// oracle for the fine-grained GPU kernels.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "blast/types.hpp"
+#include "blast/wordlookup.hpp"
+
+namespace repro::blast {
+
+/// Invokes `sink(qpos, spos)` for every word hit between the query (via its
+/// lookup table) and `subject`, in column-major order: ascending subject
+/// position, and ascending query position within a column. Returns the
+/// number of words scanned.
+std::uint64_t scan_subject(
+    const WordLookup& lookup, std::span<const std::uint8_t> subject,
+    const std::function<void(std::uint32_t qpos, std::uint32_t spos)>& sink);
+
+/// Same scan but driven through the DFA (identical hits; exercised by tests
+/// to prove the DFA view equals the flat lookup).
+std::uint64_t scan_subject_dfa(
+    const Dfa& dfa, std::span<const std::uint8_t> subject,
+    const std::function<void(std::uint32_t qpos, std::uint32_t spos)>& sink);
+
+/// Collects all hits of one subject sequence into a vector (testing and
+/// small-scale use; engines stream instead).
+[[nodiscard]] std::vector<Hit> collect_hits(
+    const WordLookup& lookup, std::span<const std::uint8_t> subject,
+    std::uint32_t seq_index);
+
+}  // namespace repro::blast

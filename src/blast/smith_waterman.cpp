@@ -1,0 +1,139 @@
+#include "blast/smith_waterman.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <vector>
+
+namespace repro::blast {
+
+namespace {
+constexpr int kNegInf = INT_MIN / 4;
+}
+
+int smith_waterman_score(const bio::Pssm& pssm,
+                         std::span<const std::uint8_t> subject,
+                         const SearchParams& params) {
+  const std::size_t m = pssm.query_length();
+  const std::size_t n = subject.size();
+  if (m == 0 || n == 0) return 0;
+  const int open = params.gap_open + params.gap_extend;
+  const int extend = params.gap_extend;
+
+  std::vector<int> h(n + 1, 0);  // H(i-1, j) rolling into H(i, j)
+  std::vector<int> e(n + 1, kNegInf);  // gap in query
+  int best = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    int diag = 0;      // H(i-1, j-1)
+    int f = kNegInf;   // gap in subject along this row
+    h[0] = 0;
+    for (std::size_t j = 1; j <= n; ++j) {
+      e[j] = std::max(h[j] - open, e[j] - extend);
+      f = std::max(h[j - 1] - open, f - extend);
+      const int match = diag + pssm.score(i - 1, subject[j - 1]);
+      diag = h[j];
+      h[j] = std::max({0, match, e[j], f});
+      best = std::max(best, h[j]);
+    }
+  }
+  return best;
+}
+
+Alignment smith_waterman_align(const bio::Pssm& pssm,
+                               std::span<const std::uint8_t> subject,
+                               std::uint32_t seq_index,
+                               const SearchParams& params) {
+  const std::size_t m = pssm.query_length();
+  const std::size_t n = subject.size();
+  Alignment result;
+  result.seq = seq_index;
+  if (m == 0 || n == 0) return result;
+  const int open = params.gap_open + params.gap_extend;
+  const int extend = params.gap_extend;
+
+  // Full matrices (test-scale): H plus direction bytes.
+  // dir bits: 0-1 H source (0 stop, 1 diag, 2 E, 3 F); 2 E-from-E; 3 F-from-F.
+  const std::size_t stride = n + 1;
+  std::vector<int> h((m + 1) * stride, 0);
+  std::vector<int> e(stride, kNegInf);
+  std::vector<std::uint8_t> dir((m + 1) * stride, 0);
+  int best = 0;
+  std::size_t bi = 0, bj = 0;
+  for (std::size_t i = 1; i <= m; ++i) {
+    int f = kNegInf;
+    for (std::size_t j = 1; j <= n; ++j) {
+      std::uint8_t d = 0;
+      const int e_open = h[(i - 1) * stride + j] - open;
+      const int e_ext = e[j] - extend;
+      e[j] = std::max(e_open, e_ext);
+      if (e[j] == e_ext) d |= 1 << 2;
+      const int f_open = h[i * stride + j - 1] - open;
+      const int f_ext = f - extend;
+      f = std::max(f_open, f_ext);
+      if (f == f_ext) d |= 1 << 3;
+      const int match =
+          h[(i - 1) * stride + j - 1] + pssm.score(i - 1, subject[j - 1]);
+      int v = 0;
+      if (match >= v) v = match;
+      if (e[j] > v) v = e[j];
+      if (f > v) v = f;
+      if (v == 0) {
+        d |= 0;
+      } else if (v == match) {
+        d |= 1;
+      } else if (v == e[j]) {
+        d |= 2;
+      } else {
+        d |= 3;
+      }
+      h[i * stride + j] = v;
+      dir[i * stride + j] = d;
+      if (v > best) {
+        best = v;
+        bi = i;
+        bj = j;
+      }
+    }
+  }
+
+  result.score = best;
+  if (best == 0) return result;
+
+  // Traceback from (bi, bj) until a zero cell.
+  std::string ops;
+  std::size_t i = bi, j = bj;
+  enum class State { H, E, F } state = State::H;
+  while (i > 0 && j > 0) {
+    const std::uint8_t d = dir[i * stride + j];
+    if (state == State::H) {
+      const int src = d & 3;
+      if (src == 0 || h[i * stride + j] == 0) break;
+      if (src == 1) {
+        ops.push_back('M');
+        --i;
+        --j;
+      } else if (src == 2) {
+        state = State::E;
+      } else {
+        state = State::F;
+      }
+    } else if (state == State::E) {
+      // E consumed query residue i (gap in subject).
+      ops.push_back('D');
+      state = (d & (1 << 2)) ? State::E : State::H;
+      --i;
+    } else {
+      ops.push_back('I');
+      state = (d & (1 << 3)) ? State::F : State::H;
+      --j;
+    }
+  }
+  std::reverse(ops.begin(), ops.end());
+  result.ops = std::move(ops);
+  result.q_start = static_cast<std::uint32_t>(i);
+  result.s_start = static_cast<std::uint32_t>(j);
+  result.q_end = static_cast<std::uint32_t>(bi - 1);
+  result.s_end = static_cast<std::uint32_t>(bj - 1);
+  return result;
+}
+
+}  // namespace repro::blast

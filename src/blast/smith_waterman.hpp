@@ -1,0 +1,27 @@
+// Smith-Waterman: the optimal local-alignment algorithm BLAST approximates
+// (paper §2.1). Used as the gold-standard oracle in tests and for
+// measuring the heuristic's sensitivity on synthetic homologs.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "bio/pssm.hpp"
+#include "blast/types.hpp"
+
+namespace repro::blast {
+
+/// Optimal local alignment score of the query (via its PSSM) against
+/// `subject` with affine gaps (params.gap_open / gap_extend). O(m*n) time,
+/// O(n) space.
+[[nodiscard]] int smith_waterman_score(const bio::Pssm& pssm,
+                                       std::span<const std::uint8_t> subject,
+                                       const SearchParams& params);
+
+/// Full Smith-Waterman with traceback; returns the optimal Alignment
+/// (bit_score/evalue left zero). O(m*n) time and space — test-scale only.
+[[nodiscard]] Alignment smith_waterman_align(
+    const bio::Pssm& pssm, std::span<const std::uint8_t> subject,
+    std::uint32_t seq_index, const SearchParams& params);
+
+}  // namespace repro::blast

@@ -1,0 +1,60 @@
+// cuBLASTP engine configuration: the paper's tunables.
+#pragma once
+
+#include <cstddef>
+
+#include "blast/types.hpp"
+
+namespace repro::core {
+
+/// Which fine-grained ungapped-extension kernel to run (paper §3.4,
+/// Fig. 9b-d; selectable at run time, as the paper prescribes).
+enum class ExtensionStrategy {
+  kDiagonal,  ///< Algorithm 3: one thread per diagonal
+  kHit,       ///< Algorithm 4: one thread per hit + de-duplication
+  kWindow,    ///< Algorithm 5: one window of lanes per diagonal
+};
+
+/// How the extension kernels score residue pairs (paper §3.5, Fig. 15).
+enum class ScoringMode {
+  kAuto,    ///< PSSM for short queries, BLOSUM62 for long ones
+  kPssm,    ///< position-specific matrix (shared memory while it fits)
+  kBlosum,  ///< 2 kB BLOSUM62 always in shared memory
+};
+
+struct Config {
+  blast::SearchParams params;
+
+  /// Bins per detection warp (paper Fig. 14; 128 is the paper's optimum).
+  int num_bins_per_warp = 128;
+
+  /// Detection grid shape: warps own bins, so the grid is fixed.
+  int detection_blocks = 8;
+  int detection_block_threads = 256;  ///< 8 warps per block
+
+  /// Initial per-bin capacity in packed hits; grows on overflow.
+  std::size_t bin_capacity = 256;
+
+  ExtensionStrategy strategy = ExtensionStrategy::kWindow;
+  ScoringMode scoring = ScoringMode::kAuto;
+  int window_size = 8;  ///< lanes per window in the window-based kernel
+
+  /// Hierarchical buffering toggle (paper Fig. 17): route the DFA query
+  /// positions through the read-only cache.
+  bool use_readonly_cache = true;
+
+  /// Queries at most this long use the PSSM under ScoringMode::kAuto.
+  std::size_t auto_pssm_max_query = 256;
+
+  /// Database blocks for the CPU/GPU pipeline (paper Fig. 12).
+  std::size_t db_blocks = 4;
+
+  /// CPU worker threads for gapped extension and traceback.
+  std::size_t cpu_threads = 4;
+
+  [[nodiscard]] int detection_warps() const {
+    return detection_blocks * detection_block_threads / 32;
+  }
+};
+
+}  // namespace repro::core

@@ -1,0 +1,188 @@
+#include "core/cublastp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bio/karlin.hpp"
+#include "bio/pssm.hpp"
+#include "blast/results.hpp"
+#include "blast/wordlookup.hpp"
+#include "core/bins.hpp"
+#include "core/device_data.hpp"
+#include "core/kernels.hpp"
+#include "util/makespan.hpp"
+#include "util/timer.hpp"
+
+namespace repro::core {
+
+namespace {
+
+/// Modeled GPU time accumulated in `registry` for one kernel name (ms).
+double kernel_ms(const simt::ProfileRegistry& registry, const char* name) {
+  return registry.has(name) ? registry.at(name).time_ms : 0.0;
+}
+
+}  // namespace
+
+CuBlastp::CuBlastp(Config config) : config_(config) {
+  if (config_.num_bins_per_warp <= 0 ||
+      (config_.num_bins_per_warp & (config_.num_bins_per_warp - 1)) != 0)
+    throw std::invalid_argument("num_bins_per_warp must be a power of two");
+  if (config_.db_blocks == 0) config_.db_blocks = 1;
+  if (config_.cpu_threads == 0) config_.cpu_threads = 1;
+  if (config_.bin_capacity == 0) config_.bin_capacity = 256;
+}
+
+SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
+                              const bio::SequenceDatabase& db) const {
+  if (query.size() >= 32768)
+    throw std::invalid_argument(
+        "cuBLASTP: query longer than the 16-bit diagonal field allows");
+  if (db.max_length() >= 65536)
+    throw std::invalid_argument(
+        "cuBLASTP: subject longer than the 16-bit position field allows "
+        "(paper Fig. 7 layout)");
+
+  SearchReport report;
+  simt::Engine engine;
+  engine.set_readonly_cache_enabled(config_.use_readonly_cache);
+
+  // --- query preprocessing (the "Other" phase of Fig. 19d) ---------------
+  util::Timer other_timer;
+  blast::WordLookup lookup(query, bio::Blosum62::instance(), config_.params);
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  bio::EvalueCalculator evalue(bio::blosum62_gapped_11_1(), query.size(),
+                               db.total_residues(), db.size());
+  QueryDevice device_query(query, lookup, pssm);
+  report.other_seconds += other_timer.seconds();
+  report.h2d_ms += engine.transfer("h2d_query", device_query.h2d_bytes());
+
+  // --- per-block GPU pipeline --------------------------------------------
+  const auto blocks = db.split_blocks(config_.db_blocks);
+  struct BlockWork {
+    double gpu_chain_ms = 0.0;  ///< H2D + kernels + D2H for this block
+    std::vector<blast::UngappedExtension> extensions;
+  };
+  std::vector<BlockWork> work(blocks.size());
+
+  std::uint32_t bin_capacity = static_cast<std::uint32_t>(config_.bin_capacity);
+
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto [begin, end] = blocks[bi];
+    BlockDevice device_block(db, begin, end);
+
+    const double gpu_ms_before = engine.profile().total_time_ms();
+
+    engine.transfer("h2d_block", device_block.h2d_bytes());
+
+    // K1 with overflow-driven capacity growth: a real implementation must
+    // also re-run when its fixed-size bins overflow.
+    DetectionResult detection;
+    for (;;) {
+      BinGrid bins(config_.detection_warps(), config_.num_bins_per_warp,
+                   bin_capacity);
+      detection = launch_hit_detection(engine, config_, device_query,
+                                       device_block, bins);
+      if (!detection.overflowed) {
+        // K2-K4.
+        AssembledBins assembled = launch_assemble(engine, bins);
+        launch_sort(engine, assembled);
+        FilteredBins filtered = launch_filter(engine, config_, assembled);
+
+        // K5.
+        ExtensionResult extension = launch_extension(
+            engine, config_, device_query, device_block, filtered);
+        engine.transfer("d2h_extensions", extension.records_d2h_bytes);
+
+        report.result.counters.hits_detected += detection.total_hits;
+        report.result.counters.hits_after_filter += filtered.total_survivors;
+        report.result.counters.ungapped_extensions +=
+            extension.extensions_run;
+
+        work[bi].extensions = std::move(extension.extensions);
+        for (auto& ext : work[bi].extensions) {
+          ext.seq += device_block.first_seq;
+        }
+        break;
+      }
+      ++report.bin_overflow_retries;
+      bin_capacity *= 2;
+    }
+
+    for (std::size_t s = begin; s < end; ++s)
+      if (db.length(s) >= static_cast<std::size_t>(config_.params.word_length))
+        report.result.counters.words_scanned +=
+            db.length(s) - static_cast<std::size_t>(config_.params.word_length) + 1;
+
+    work[bi].gpu_chain_ms =
+        engine.profile().total_time_ms() - gpu_ms_before;
+  }
+
+  // --- CPU phases per block (gapped extension + traceback) ----------------
+  std::vector<double> cpu_block_seconds(blocks.size(), 0.0);
+  std::vector<blast::Alignment> alignments;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    auto stage = blast::process_gapped_stage(pssm, db, work[bi].extensions,
+                                             config_.params, evalue);
+    const double gapped = util::list_schedule_makespan(
+        stage.gapped_task_costs, config_.cpu_threads);
+    const double traceback = util::list_schedule_makespan(
+        stage.traceback_task_costs, config_.cpu_threads);
+    report.gapped_seconds += gapped;
+    report.traceback_seconds += traceback;
+    cpu_block_seconds[bi] = gapped + traceback;
+    report.result.counters.gapped_extensions += stage.gapped_extensions;
+    report.result.counters.tracebacks += stage.tracebacks;
+    alignments.insert(alignments.end(),
+                      std::make_move_iterator(stage.alignments.begin()),
+                      std::make_move_iterator(stage.alignments.end()));
+  }
+
+  // --- finalization --------------------------------------------------------
+  {
+    util::ScopedAccumulator finalize_time(report.other_seconds);
+    report.result.alignments = std::move(alignments);
+    blast::finalize_results(report.result.alignments, config_.params,
+                            evalue);
+  }
+
+  // --- time bookkeeping ----------------------------------------------------
+  report.profile = engine.profile();
+  report.detection_ms = kernel_ms(report.profile, kKernelDetection);
+  report.scan_ms = kernel_ms(report.profile, kKernelScan);
+  report.assemble_ms = kernel_ms(report.profile, kKernelAssemble);
+  report.sort_ms = kernel_ms(report.profile, kKernelSort);
+  report.filter_ms = kernel_ms(report.profile, kKernelFilter);
+  report.extension_ms = kernel_ms(report.profile, kKernelExtension);
+  report.h2d_ms = kernel_ms(report.profile, "h2d_query") +
+                  kernel_ms(report.profile, "h2d_block");
+  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions");
+
+  // Pipeline model (paper Fig. 12): the GPU/PCIe chain processes blocks in
+  // order; the CPU phases of block i start when both its GPU chain and the
+  // CPU phases of block i-1 are done.
+  double gpu_done_s = 0.0, cpu_done_s = 0.0, serial_s = 0.0;
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const double gpu_s = work[bi].gpu_chain_ms / 1e3;
+    gpu_done_s += gpu_s;
+    cpu_done_s = std::max(cpu_done_s, gpu_done_s) + cpu_block_seconds[bi];
+    serial_s += gpu_s + cpu_block_seconds[bi];
+  }
+  report.overlapped_total_seconds = cpu_done_s + report.other_seconds;
+  report.serial_total_seconds = serial_s + report.other_seconds;
+
+  // Map into the common PhaseTimings (GPU ms -> seconds).
+  report.result.timings.hit_detection =
+      (report.detection_ms + report.scan_ms + report.assemble_ms +
+       report.sort_ms + report.filter_ms) /
+      1e3;
+  report.result.timings.ungapped_extension = report.extension_ms / 1e3;
+  report.result.timings.gapped_extension = report.gapped_seconds;
+  report.result.timings.traceback = report.traceback_seconds;
+  report.result.timings.other =
+      report.other_seconds + (report.h2d_ms + report.d2h_ms) / 1e3;
+
+  return report;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,82 @@
+// Internals shared by the ungapped-extension kernels (kernels.cpp and
+// window_kernel.cpp). Not part of the public API.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+#include "core/bins.hpp"
+#include "core/config.hpp"
+#include "core/device_data.hpp"
+#include "core/kernels.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core::detail {
+
+/// Device-side extension record (SoA), one slot per surviving hit.
+struct ExtensionRecords {
+  simt::DeviceVector<std::uint32_t> seq;
+  simt::DeviceVector<std::uint32_t> q_start;
+  simt::DeviceVector<std::uint32_t> q_end;
+  simt::DeviceVector<std::uint32_t> diag_biased;
+  simt::DeviceVector<std::int32_t> score;
+  simt::DeviceVector<std::uint32_t> seed_spos;
+
+  explicit ExtensionRecords(std::size_t n)
+      : seq(n), q_start(n), q_end(n), diag_biased(n), score(n),
+        seed_spos(n) {}
+
+  [[nodiscard]] static constexpr std::size_t bytes_per_record() { return 24; }
+};
+
+/// Emits per-lane extension results into the record arrays with a warp
+/// compaction (no global atomics, mirroring the per-block output buffering
+/// the paper adopts from GPU-BLASTP).
+inline void emit_records(simt::WarpExec& w, ExtensionRecords& records,
+                         std::uint32_t region_base, std::uint32_t& cursor,
+                         const simt::LaneArray<std::uint8_t>& emit,
+                         const simt::LaneArray<std::uint32_t>& seq,
+                         const simt::LaneArray<std::uint32_t>& diag_biased,
+                         const simt::LaneArray<std::uint32_t>& seed_spos,
+                         const simt::LaneArray<std::uint32_t>& q_start,
+                         const simt::LaneArray<std::uint32_t>& q_end,
+                         const simt::LaneArray<int>& score) {
+  simt::LaneArray<std::uint32_t> rank{};
+  w.vec([&](int lane) { rank[lane] = emit[lane] != 0 ? 1u : 0u; });
+  const simt::Mask mask =
+      w.ballot([&](int lane) { return emit[lane] != 0; });
+  if (mask == 0) return;
+  w.window_inclusive_scan(rank, 32);
+  w.if_then(
+      [&](int lane) { return ((mask >> lane) & 1u) != 0; },
+      [&] {
+        simt::LaneArray<std::uint32_t> dst{};
+        w.vec([&](int lane) {
+          dst[lane] = region_base + cursor + rank[lane] - 1;
+        });
+        simt::LaneArray<std::int32_t> sc{};
+        w.vec([&](int lane) { sc[lane] = score[lane]; });
+        w.scatter(records.seq.data(), dst, seq);
+        w.scatter(records.q_start.data(), dst, q_start);
+        w.scatter(records.q_end.data(), dst, q_end);
+        w.scatter(records.diag_biased.data(), dst, diag_biased);
+        w.scatter(records.score.data(), dst, sc);
+        w.scatter(records.seed_spos.data(), dst, seed_spos);
+      });
+  cursor += static_cast<std::uint32_t>(std::popcount(mask));
+}
+
+/// Algorithm 5 (window-based extension) kernel launcher; defined in
+/// window_kernel.cpp.
+void run_window_extension_kernel(simt::Engine& engine, const Config& config,
+                                 const QueryDevice& query,
+                                 const BlockDevice& block,
+                                 const FilteredBins& filtered,
+                                 const simt::LaunchConfig& cfg,
+                                 const std::vector<std::uint32_t>& region_base,
+                                 ExtensionRecords& records,
+                                 std::vector<std::uint32_t>& emitted,
+                                 std::uint64_t& extensions_run);
+
+}  // namespace repro::core::detail

@@ -1,0 +1,220 @@
+#include "core/gapped_kernel.hpp"
+
+#include <algorithm>
+#include <array>
+#include <climits>
+#include <stdexcept>
+
+#include "core/scoring.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using simt::BlockCtx;
+using simt::LaneArray;
+using simt::WarpExec;
+
+constexpr int kMaxBand = 31;
+constexpr int kNegInf = INT_MIN / 4;
+
+/// One direction of the banded-linear gapped extension for all active
+/// lanes. Lane state: a band of kMaxBand cells in "registers".
+/// map(lane, i, j, qp, sidx) -> valid translates (query offset i, subject
+/// offset j) relative to the seed into absolute indices.
+template <class PosMap>
+void banded_half(WarpExec& w, const DeviceScoring& scoring,
+                 const std::uint8_t* residues, int band, int gap_cost,
+                 int xdrop, LaneArray<int>& gain, PosMap&& map) {
+  const int center = band / 2;
+  std::array<LaneArray<int>, kMaxBand> prev;
+  LaneArray<int> best{};
+  LaneArray<std::uint32_t> row{};
+  LaneArray<std::uint8_t> done{};
+
+  // Row 0: only the seed diagonal (and leading gaps in the query) exist.
+  w.vec([&](int lane) {
+    row[lane] = 1;
+    for (int k = 0; k < band; ++k) {
+      const int d = k - center;
+      prev[static_cast<std::size_t>(k)][lane] =
+          d == 0 ? 0 : (d > 0 ? -gap_cost * d : kNegInf);
+    }
+  });
+
+  w.loop_while(
+      [&](int lane) { return done[lane] == 0; },
+      [&] {
+        std::array<LaneArray<int>, kMaxBand> cur;
+        LaneArray<int> row_max{};
+        w.vec([&](int lane) { row_max[lane] = kNegInf; });
+
+        for (int k = 0; k < band; ++k) {
+          const int d = k - center;
+          LaneArray<std::uint32_t> qp{};
+          LaneArray<std::uint32_t> sidx{};
+          LaneArray<std::uint8_t> valid{};
+          w.vec([&](int lane) {
+            const auto i = row[lane];
+            const std::int64_t j = static_cast<std::int64_t>(i) + d;
+            valid[lane] =
+                j >= 1 && map(lane, i, static_cast<std::uint32_t>(j),
+                              qp[lane], sidx[lane])
+                    ? 1
+                    : 0;
+          });
+
+          LaneArray<int> subst{};
+          w.if_then_else(
+              [&](int lane) { return valid[lane] != 0; },
+              [&] {
+                LaneArray<std::uint8_t> sres{};
+                w.gather(residues, sidx, sres);
+                scoring.score_step(w, qp, sres, subst);
+              },
+              [&] { w.vec([&](int lane) { subst[lane] = kNegInf; }); });
+
+          w.vec([&](int lane) {
+            const auto ks = static_cast<std::size_t>(k);
+            if (valid[lane] == 0) {
+              cur[ks][lane] = kNegInf;
+              return;
+            }
+            int v = prev[ks][lane] == kNegInf ? kNegInf
+                                              : prev[ks][lane] + subst[lane];
+            if (k > 0 && cur[ks - 1][lane] != kNegInf)
+              v = std::max(v, cur[ks - 1][lane] - gap_cost);
+            if (k + 1 < band && prev[ks + 1][lane] != kNegInf)
+              v = std::max(v, prev[ks + 1][lane] - gap_cost);
+            cur[ks][lane] = v;
+            if (v > best[lane]) best[lane] = v;
+            if (v > row_max[lane]) row_max[lane] = v;
+          });
+        }
+
+        w.vec([&](int lane) {
+          for (int k = 0; k < band; ++k)
+            prev[static_cast<std::size_t>(k)][lane] =
+                cur[static_cast<std::size_t>(k)][lane];
+          ++row[lane];
+          if (row_max[lane] == kNegInf ||
+              best[lane] - row_max[lane] > xdrop)
+            done[lane] = 1;
+        });
+      });
+
+  w.vec([&](int lane) { gain[lane] = std::max(0, best[lane]); });
+}
+
+}  // namespace
+
+GpuGappedResult launch_gapped_extension_gpu(
+    simt::Engine& engine, const Config& config, const QueryDevice& query,
+    const BlockDevice& block,
+    std::span<const blast::UngappedExtension> extensions, int band) {
+  if (band < 3 || band > kMaxBand || band % 2 == 0)
+    throw std::invalid_argument(
+        "gapped_extension_gpu: band must be odd, in [3, 31]");
+
+  const auto num_seeds = static_cast<std::uint32_t>(extensions.size());
+  GpuGappedResult result;
+  result.scores.assign(num_seeds, 0);
+  if (num_seeds == 0) return result;
+
+  // Stage the seed points device-side.
+  simt::DeviceVector<std::uint32_t> seed_seq(num_seeds);
+  simt::DeviceVector<std::uint32_t> seed_q(num_seeds);
+  simt::DeviceVector<std::uint32_t> seed_s(num_seeds);
+  for (std::uint32_t i = 0; i < num_seeds; ++i) {
+    seed_seq[i] = extensions[i].seq;
+    seed_q[i] = extensions[i].q_seed();
+    seed_s[i] = extensions[i].s_seed();
+  }
+  simt::DeviceVector<std::int32_t> out(num_seeds);
+
+  const int gap_cost = config.params.gap_open + config.params.gap_extend;
+  const int xdrop = config.params.gapped_xdrop;
+  const std::uint32_t qlen = query.query_length;
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelGpuGapped;
+  cfg.grid_blocks = 13;
+  cfg.block_threads = 128;
+  cfg.regs_per_thread = 64;  // the banded state is register-hungry
+
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    const DeviceScoring scoring = DeviceScoring::setup(ctx, config, query);
+    ctx.par([&](WarpExec& w) {
+      const auto stride = static_cast<std::uint32_t>(w.num_warps_total()) * 32;
+      LaneArray<std::uint32_t> idx{};
+      w.vec([&](int lane) {
+        idx[lane] = static_cast<std::uint32_t>(w.thread_id(lane));
+      });
+      w.loop_while(
+          [&](int lane) { return idx[lane] < num_seeds; },
+          [&] {
+            LaneArray<std::uint32_t> qseed{}, sseed{}, seq{}, seq_off{},
+                seq_len{};
+            w.gather(seed_q.data(), idx, qseed);
+            w.gather(seed_s.data(), idx, sseed);
+            w.gather(seed_seq.data(), idx, seq);
+            LaneArray<std::uint32_t> next{}, hi{};
+            w.gather(block.offsets.data(), seq, seq_off);
+            w.vec([&](int lane) { next[lane] = seq[lane] + 1; });
+            w.gather(block.offsets.data(), next, hi);
+            w.vec([&](int lane) {
+              seq_len[lane] = hi[lane] - seq_off[lane];
+            });
+
+            // Seed-pair score.
+            LaneArray<int> seed_score{};
+            {
+              LaneArray<std::uint32_t> sidx{};
+              LaneArray<std::uint8_t> sres{};
+              w.vec([&](int lane) {
+                sidx[lane] = seq_off[lane] + sseed[lane];
+              });
+              w.gather(block.residues.data(), sidx, sres);
+              scoring.score_step(w, qseed, sres, seed_score);
+            }
+
+            LaneArray<int> right{};
+            banded_half(w, scoring, block.residues.data(), band, gap_cost,
+                        xdrop, right,
+                        [&](int lane, std::uint32_t i, std::uint32_t j,
+                            std::uint32_t& qp, std::uint32_t& sidx) {
+                          const std::uint32_t q = qseed[lane] + i;
+                          const std::uint32_t s = sseed[lane] + j;
+                          qp = q;
+                          sidx = seq_off[lane] + s;
+                          return q < qlen && s < seq_len[lane];
+                        });
+            LaneArray<int> left{};
+            banded_half(w, scoring, block.residues.data(), band, gap_cost,
+                        xdrop, left,
+                        [&](int lane, std::uint32_t i, std::uint32_t j,
+                            std::uint32_t& qp, std::uint32_t& sidx) {
+                          const bool ok =
+                              i <= qseed[lane] && j <= sseed[lane];
+                          qp = ok ? qseed[lane] - i : 0;
+                          sidx = ok ? seq_off[lane] + sseed[lane] - j
+                                    : seq_off[lane];
+                          return ok;
+                        });
+
+            LaneArray<std::int32_t> total{};
+            w.vec([&](int lane) {
+              total[lane] =
+                  seed_score[lane] + right[lane] + left[lane];
+            });
+            w.scatter(out.data(), idx, total);
+            w.vec([&](int lane) { idx[lane] += stride; });
+          });
+    });
+  });
+
+  for (std::uint32_t i = 0; i < num_seeds; ++i) result.scores[i] = out[i];
+  return result;
+}
+
+}  // namespace repro::core

@@ -1,0 +1,42 @@
+// Ablation: gapped extension ON the GPU.
+//
+// Paper §3.6 keeps gapped extension and traceback on the CPU, noting that
+// prior work (CUDA-BLASTP) "had to modify the dynamic programming method
+// of the gapped extension on GPU for the performance". This kernel
+// implements that modified method — a per-lane, statically-banded DP with
+// linear gap costs (bounded state per thread, no traceback) — so the
+// design decision can be measured: the bench compares its modeled time and
+// its score agreement against the exact CPU affine x-drop extension.
+//
+// With linear gaps at (open + extend) per residue, every banded-linear
+// score is a lower bound on the exact affine score (each gap residue costs
+// at least as much), a property the tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "blast/types.hpp"
+#include "core/config.hpp"
+#include "core/device_data.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+inline constexpr const char* kKernelGpuGapped = "gapped_extension_gpu";
+
+struct GpuGappedResult {
+  /// Banded-linear gapped score per input seed (same order).
+  std::vector<std::int32_t> scores;
+};
+
+/// Runs the banded gapped-extension kernel over the seed points of
+/// `extensions` (seq indices block-local). `band` is the total band width
+/// in diagonals (odd, <= 31).
+[[nodiscard]] GpuGappedResult launch_gapped_extension_gpu(
+    simt::Engine& engine, const Config& config, const QueryDevice& query,
+    const BlockDevice& block,
+    std::span<const blast::UngappedExtension> extensions, int band = 15);
+
+}  // namespace repro::core

@@ -1,0 +1,768 @@
+#include "core/kernels.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+#include <tuple>
+
+#include "core/extension_internal.hpp"
+#include "core/lane_extend.hpp"
+#include "core/scoring.hpp"
+#include "gpualgo/scan.hpp"
+#include "gpualgo/segsort.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using simt::BlockCtx;
+using simt::LaneArray;
+using simt::Mask;
+using simt::WarpExec;
+
+constexpr int kWordLength = 3;  // the kernels are specialized for W = 3
+
+/// Key identifying a (sequence, diagonal) segment inside a sorted bin.
+constexpr std::uint64_t segment_key(std::uint64_t packed) {
+  return packed >> 16;
+}
+
+}  // namespace
+
+// --------------------------------------------------------------------------
+// K1: hit detection with binning (Algorithm 2)
+// --------------------------------------------------------------------------
+
+DetectionResult launch_hit_detection(simt::Engine& engine,
+                                     const Config& config,
+                                     const QueryDevice& query,
+                                     const BlockDevice& block,
+                                     BinGrid& bins) {
+  const int num_bins = bins.num_bins;
+  if (num_bins <= 0 || (num_bins & (num_bins - 1)) != 0 ||
+      num_bins > kDiagonalBias)
+    throw std::invalid_argument(
+        "hit detection: num_bins_per_warp must be a power of two <= 32768");
+  if (config.params.word_length != kWordLength)
+    throw std::invalid_argument("hit detection kernel requires W == 3");
+  bins.clear();
+
+  const simt::MemKind position_kind = config.use_readonly_cache
+                                          ? simt::MemKind::kReadOnly
+                                          : simt::MemKind::kGlobal;
+  const auto capacity = bins.capacity;
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelDetection;
+  cfg.grid_blocks = config.detection_blocks;
+  cfg.block_threads = config.detection_block_threads;
+  cfg.regs_per_thread = 40;
+
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    const int warps_per_block = ctx.warps_per_block();
+    auto top = ctx.shared().alloc<std::uint32_t>(
+        static_cast<std::size_t>(warps_per_block) *
+        static_cast<std::size_t>(num_bins));
+    auto presence = ctx.shared().alloc<std::uint32_t>(
+        query.presence_bitmap.size());
+
+    // Prologue: cooperative copy of the DFA presence structure into shared
+    // memory (the fixed, small "DFA states" part of hierarchical buffering).
+    ctx.par([&](WarpExec& w) {
+      const auto n = static_cast<std::uint32_t>(presence.size());
+      const auto stride =
+          static_cast<std::uint32_t>(w.warps_per_block()) * 32;
+      LaneArray<std::uint32_t> idx{};
+      w.vec([&](int lane) {
+        idx[lane] = static_cast<std::uint32_t>(w.warp_in_block()) * 32 +
+                    static_cast<std::uint32_t>(lane);
+      });
+      w.loop_while([&](int lane) { return idx[lane] < n; }, [&] {
+        LaneArray<std::uint32_t> vals{};
+        w.gather(query.presence_bitmap.data(), idx, vals);
+        w.sh_scatter<std::uint32_t, std::uint32_t>(presence, idx, vals);
+        w.vec([&](int lane) { idx[lane] += stride; });
+      });
+    });
+
+    // Main loop: warp per sequence, lane per word position.
+    ctx.par([&](WarpExec& w) {
+      const auto total_warps = static_cast<std::uint32_t>(w.num_warps_total());
+      const auto gw = static_cast<std::uint32_t>(w.global_warp_id());
+      const std::uint32_t top_base =
+          static_cast<std::uint32_t>(w.warp_in_block()) *
+          static_cast<std::uint32_t>(num_bins);
+      const std::uint64_t warp_bin_base =
+          static_cast<std::uint64_t>(gw) * static_cast<std::uint64_t>(num_bins);
+
+      for (std::uint32_t seq = gw; seq < block.num_seqs; seq += total_warps) {
+        // Warp-uniform loads of the sequence extent (broadcast access).
+        LaneArray<std::uint32_t> uidx{};
+        LaneArray<std::uint32_t> lo{};
+        LaneArray<std::uint32_t> hi{};
+        w.vec([&](int lane) { uidx[lane] = seq; });
+        w.gather(block.offsets.data(), uidx, lo);
+        w.vec([&](int lane) { uidx[lane] = seq + 1; });
+        w.gather(block.offsets.data(), uidx, hi);
+        const std::uint32_t seq_off = lo[0];
+        const std::uint32_t seq_len = hi[0] - lo[0];
+        if (seq_len < kWordLength) continue;
+        const std::uint32_t num_words = seq_len - kWordLength + 1;
+
+        for (std::uint32_t j0 = 0; j0 < num_words; j0 += 32) {
+          LaneArray<std::uint32_t> j{};
+          w.vec([&](int lane) {
+            j[lane] = j0 + static_cast<std::uint32_t>(lane);
+          });
+          w.if_then(
+              [&](int lane) { return j[lane] < num_words; },
+              [&] {
+                // Load the word's three residues (coalesced).
+                LaneArray<std::uint32_t> sidx{};
+                LaneArray<std::uint8_t> c0{}, c1{}, c2{};
+                w.vec([&](int lane) { sidx[lane] = seq_off + j[lane]; });
+                w.gather(block.residues.data(), sidx, c0);
+                w.vec([&](int lane) { ++sidx[lane]; });
+                w.gather(block.residues.data(), sidx, c1);
+                w.vec([&](int lane) { ++sidx[lane]; });
+                w.gather(block.residues.data(), sidx, c2);
+
+                LaneArray<std::uint32_t> word{};
+                w.vec([&](int lane) {
+                  word[lane] =
+                      (static_cast<std::uint32_t>(c0[lane]) *
+                           bio::kAlphabetSize +
+                       c1[lane]) *
+                          bio::kAlphabetSize +
+                      c2[lane];
+                });
+
+                // Probe the shared-memory presence structure.
+                LaneArray<std::uint32_t> bitword{};
+                LaneArray<std::uint32_t> bidx{};
+                w.vec([&](int lane) { bidx[lane] = word[lane] / 32; });
+                w.sh_gather<std::uint32_t, std::uint32_t>(presence, bidx,
+                                                          bitword);
+                LaneArray<std::uint8_t> present{};
+                w.vec([&](int lane) {
+                  present[lane] = static_cast<std::uint8_t>(
+                      (bitword[lane] >> (word[lane] % 32)) & 1u);
+                });
+
+                w.if_then(
+                    [&](int lane) { return present[lane] != 0; },
+                    [&] {
+                      // Query positions via the read-only-cached DFA lists.
+                      LaneArray<std::uint32_t> start{}, stop{};
+                      w.gather(query.word_offsets.data(), word, start,
+                               position_kind);
+                      LaneArray<std::uint32_t> word1{};
+                      w.vec([&](int lane) { word1[lane] = word[lane] + 1; });
+                      w.gather(query.word_offsets.data(), word1, stop,
+                               position_kind);
+
+                      LaneArray<std::uint32_t> cursor = start;
+                      w.loop_while(
+                          [&](int lane) {
+                            return cursor[lane] < stop[lane];
+                          },
+                          [&] {
+                            LaneArray<std::uint32_t> qpos{};
+                            w.gather(query.word_positions.data(), cursor,
+                                     qpos, position_kind);
+
+                            LaneArray<std::uint32_t> bin{};
+                            LaneArray<std::uint64_t> packed{};
+                            w.vec([&](int lane) {
+                              const std::int32_t diag =
+                                  static_cast<std::int32_t>(j[lane]) -
+                                  static_cast<std::int32_t>(qpos[lane]);
+                              bin[lane] = static_cast<std::uint32_t>(
+                                  (diag + kDiagonalBias) & (num_bins - 1));
+                              packed[lane] = pack_hit(seq, diag, j[lane]);
+                            });
+
+                            // Claim a slot via the shared top[] counters.
+                            LaneArray<std::uint32_t> tidx{};
+                            LaneArray<std::uint32_t> ones{};
+                            LaneArray<std::uint32_t> old{};
+                            w.vec([&](int lane) {
+                              tidx[lane] = top_base + bin[lane];
+                              ones[lane] = 1;
+                            });
+                            w.atomic_add_shared(top, tidx, ones, old);
+
+                            w.if_then_else(
+                                [&](int lane) { return old[lane] < capacity; },
+                                [&] {
+                                  LaneArray<std::uint64_t> slot{};
+                                  w.vec([&](int lane) {
+                                    slot[lane] =
+                                        (warp_bin_base + bin[lane]) *
+                                            capacity +
+                                        old[lane];
+                                  });
+                                  w.scatter(bins.slots.data(), slot, packed);
+                                },
+                                [&] {
+                                  LaneArray<std::uint32_t> zero{};
+                                  LaneArray<std::uint32_t> one{};
+                                  LaneArray<std::uint32_t> prev{};
+                                  w.vec([&](int lane) { one[lane] = 1; });
+                                  w.atomic_add_global(bins.overflow.data(),
+                                                      zero, one, prev);
+                                });
+
+                            w.vec([&](int lane) { ++cursor[lane]; });
+                          });
+                    });
+              });
+        }
+      }
+
+      // Epilogue: flush this warp's shared top[] into the global counters.
+      LaneArray<std::uint32_t> b{};
+      w.vec([&](int lane) { b[lane] = static_cast<std::uint32_t>(lane); });
+      w.loop_while(
+          [&](int lane) {
+            return b[lane] < static_cast<std::uint32_t>(num_bins);
+          },
+          [&] {
+            LaneArray<std::uint32_t> tidx{};
+            LaneArray<std::uint32_t> val{};
+            LaneArray<std::uint32_t> gidx{};
+            w.vec([&](int lane) { tidx[lane] = top_base + b[lane]; });
+            w.sh_gather<std::uint32_t, std::uint32_t>(top, tidx, val);
+            w.vec([&](int lane) {
+              gidx[lane] = static_cast<std::uint32_t>(warp_bin_base) + b[lane];
+            });
+            w.scatter(bins.counts.data(), gidx, val);
+            w.vec([&](int lane) { b[lane] += 32; });
+          });
+    });
+  });
+
+  DetectionResult result;
+  result.overflowed = bins.overflowed();
+  for (const auto count : bins.counts)
+    result.total_hits += std::min<std::uint32_t>(count, bins.capacity);
+  return result;
+}
+
+// --------------------------------------------------------------------------
+// K2: hit assembling
+// --------------------------------------------------------------------------
+
+AssembledBins launch_assemble(simt::Engine& engine, const BinGrid& bins) {
+  const std::size_t total_bins = bins.total_bins();
+
+  // Pad every bin to a power of two for the bitonic segmented sort.
+  std::vector<std::uint32_t> padded(total_bins);
+  for (std::size_t b = 0; b < total_bins; ++b) {
+    const std::uint32_t n = std::min(bins.counts[b], bins.capacity);
+    padded[b] = n == 0 ? 0 : gpualgo::next_pow2(n);
+  }
+  AssembledBins out;
+  out.offsets = gpualgo::exclusive_scan_device(engine, padded, kKernelScan);
+  out.hits.resize(out.offsets.back());
+  out.counts.resize(total_bins);
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelAssemble;
+  cfg.grid_blocks = static_cast<int>(total_bins);
+  cfg.block_threads = 128;
+  cfg.regs_per_thread = 16;
+
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    const auto b = static_cast<std::size_t>(ctx.block_id());
+    const std::uint32_t n = std::min(bins.counts[b], bins.capacity);
+    out.counts[b] = n;
+    const std::uint32_t p = padded[b];
+    if (p == 0) return;
+    const std::uint64_t src_base = b * bins.capacity;
+    const std::uint32_t dst_base = out.offsets[b];
+
+    ctx.par([&](WarpExec& w) {
+      const auto stride = static_cast<std::uint32_t>(w.warps_per_block()) * 32;
+      LaneArray<std::uint32_t> i{};
+      w.vec([&](int lane) {
+        i[lane] = static_cast<std::uint32_t>(w.warp_in_block()) * 32 +
+                  static_cast<std::uint32_t>(lane);
+      });
+      w.loop_while([&](int lane) { return i[lane] < p; }, [&] {
+        LaneArray<std::uint64_t> v{};
+        w.if_then_else(
+            [&](int lane) { return i[lane] < n; },
+            [&] {
+              LaneArray<std::uint64_t> src{};
+              w.vec([&](int lane) { src[lane] = src_base + i[lane]; });
+              w.gather(bins.slots.data(), src, v);
+            },
+            [&] {
+              w.vec([&](int lane) { v[lane] = gpualgo::kSortPad; });
+            });
+        LaneArray<std::uint32_t> dst{};
+        w.vec([&](int lane) { dst[lane] = dst_base + i[lane]; });
+        w.scatter(out.hits.data(), dst, v);
+        w.vec([&](int lane) { i[lane] += stride; });
+      });
+    });
+  });
+
+  for (const auto count : out.counts) out.total_hits += count;
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// K3: hit sorting
+// --------------------------------------------------------------------------
+
+void launch_sort(simt::Engine& engine, AssembledBins& assembled) {
+  gpualgo::segmented_sort_u64(engine, assembled.hits, assembled.offsets,
+                              kKernelSort);
+}
+
+// --------------------------------------------------------------------------
+// K4: hit filtering + segment indexing
+// --------------------------------------------------------------------------
+
+FilteredBins launch_filter(simt::Engine& engine, const Config& config,
+                           const AssembledBins& assembled) {
+  const std::size_t total_bins = assembled.counts.size();
+  FilteredBins out;
+  out.hits.resize(assembled.hits.size());
+  out.offsets = assembled.offsets;
+  out.counts.resize(total_bins);
+  out.seg_starts.resize(assembled.hits.size());
+  out.seg_counts.resize(total_bins);
+
+  const auto window =
+      static_cast<std::uint32_t>(config.params.two_hit_window);
+  const bool one_hit = config.params.one_hit;
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelFilter;
+  cfg.grid_blocks = static_cast<int>(total_bins);
+  cfg.block_threads = 32;
+  cfg.regs_per_thread = 24;
+
+  // Pass 1: the two-hit filter (paper Fig. 6c): a hit survives iff its left
+  // neighbour is on the same (seq, diagonal) and within the window.
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    const auto b = static_cast<std::size_t>(ctx.block_id());
+    const std::uint32_t n = assembled.counts[b];
+    const std::uint32_t base = assembled.offsets[b];
+    ctx.par([&](WarpExec& w) {
+      std::uint32_t cursor = 0;
+      for (std::uint32_t i0 = 0; i0 < n; i0 += 32) {
+        LaneArray<std::uint32_t> i{};
+        LaneArray<std::uint64_t> cur{};
+        LaneArray<std::uint64_t> prev{};
+        LaneArray<std::uint8_t> keep{};
+        w.vec([&](int lane) {
+          i[lane] = i0 + static_cast<std::uint32_t>(lane);
+        });
+        w.if_then(
+            [&](int lane) { return i[lane] < n; },
+            [&] {
+              LaneArray<std::uint32_t> idx{};
+              w.vec([&](int lane) { idx[lane] = base + i[lane]; });
+              w.gather(assembled.hits.data(), idx, cur);
+              w.if_then(
+                  [&](int lane) { return i[lane] > 0; },
+                  [&] {
+                    LaneArray<std::uint32_t> pidx{};
+                    w.vec([&](int lane) { pidx[lane] = base + i[lane] - 1; });
+                    w.gather(assembled.hits.data(), pidx, prev);
+                  });
+              w.vec([&](int lane) {
+                if (i[lane] == 0) {
+                  keep[lane] = one_hit ? 1 : 0;
+                  return;
+                }
+                const bool same_segment =
+                    segment_key(cur[lane]) == segment_key(prev[lane]);
+                if (one_hit) {
+                  keep[lane] = 1;
+                  return;
+                }
+                keep[lane] =
+                    same_segment && hit_spos(cur[lane]) -
+                                            hit_spos(prev[lane]) <=
+                                        window
+                        ? 1
+                        : 0;
+              });
+            });
+
+        // Warp compaction: survivors append in order.
+        LaneArray<std::uint32_t> rank{};
+        w.vec([&](int lane) {
+          rank[lane] = (i[lane] < n && keep[lane] != 0) ? 1u : 0u;
+        });
+        const Mask kept = w.ballot([&](int lane) { return rank[lane] != 0; });
+        w.window_inclusive_scan(rank, 32);
+        w.if_then(
+            [&](int lane) { return ((kept >> lane) & 1u) != 0; },
+            [&] {
+              LaneArray<std::uint32_t> dst{};
+              w.vec([&](int lane) {
+                dst[lane] = base + cursor + rank[lane] - 1;
+              });
+              w.scatter(out.hits.data(), dst, cur);
+            });
+        cursor += static_cast<std::uint32_t>(std::popcount(kept));
+      }
+      out.counts[b] = cursor;
+    });
+  });
+
+  // Pass 2: segment indexing over the survivors — start positions of each
+  // (seq, diagonal) run, consumed by the extension kernels.
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    const auto b = static_cast<std::size_t>(ctx.block_id());
+    const std::uint32_t n = out.counts[b];
+    const std::uint32_t base = out.offsets[b];
+    ctx.par([&](WarpExec& w) {
+      std::uint32_t cursor = 0;
+      for (std::uint32_t i0 = 0; i0 < n; i0 += 32) {
+        LaneArray<std::uint32_t> i{};
+        LaneArray<std::uint8_t> is_start{};
+        w.vec([&](int lane) {
+          i[lane] = i0 + static_cast<std::uint32_t>(lane);
+        });
+        w.if_then(
+            [&](int lane) { return i[lane] < n; },
+            [&] {
+              LaneArray<std::uint64_t> cur{};
+              LaneArray<std::uint64_t> prev{};
+              LaneArray<std::uint32_t> idx{};
+              w.vec([&](int lane) { idx[lane] = base + i[lane]; });
+              w.gather(out.hits.data(), idx, cur);
+              w.if_then(
+                  [&](int lane) { return i[lane] > 0; },
+                  [&] {
+                    LaneArray<std::uint32_t> pidx{};
+                    w.vec([&](int lane) { pidx[lane] = base + i[lane] - 1; });
+                    w.gather(out.hits.data(), pidx, prev);
+                  });
+              w.vec([&](int lane) {
+                is_start[lane] =
+                    (i[lane] == 0 ||
+                     segment_key(cur[lane]) != segment_key(prev[lane]))
+                        ? 1
+                        : 0;
+              });
+            });
+
+        LaneArray<std::uint32_t> rank{};
+        w.vec([&](int lane) {
+          rank[lane] = (i[lane] < n && is_start[lane] != 0) ? 1u : 0u;
+        });
+        const Mask starts =
+            w.ballot([&](int lane) { return rank[lane] != 0; });
+        w.window_inclusive_scan(rank, 32);
+        w.if_then(
+            [&](int lane) { return ((starts >> lane) & 1u) != 0; },
+            [&] {
+              LaneArray<std::uint32_t> dst{};
+              w.vec([&](int lane) {
+                dst[lane] = base + cursor + rank[lane] - 1;
+              });
+              w.scatter(out.seg_starts.data(), dst, i);
+            });
+        cursor += static_cast<std::uint32_t>(std::popcount(starts));
+      }
+      out.seg_counts[b] = cursor;
+    });
+  });
+
+  for (std::size_t b = 0; b < total_bins; ++b) {
+    out.total_survivors += out.counts[b];
+    out.total_segments += out.seg_counts[b];
+  }
+  return out;
+}
+
+// --------------------------------------------------------------------------
+// K5: ungapped extension (three strategies)
+// --------------------------------------------------------------------------
+
+namespace {
+
+using detail::emit_records;
+using detail::ExtensionRecords;
+
+struct BinView {
+  std::uint32_t base = 0;       ///< survivors region start
+  std::uint32_t count = 0;      ///< survivors
+  std::uint32_t num_segs = 0;   ///< segments
+};
+
+}  // namespace
+
+ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
+                                 const QueryDevice& query,
+                                 const BlockDevice& block,
+                                 const FilteredBins& filtered) {
+  const std::size_t total_bins = filtered.counts.size();
+  const auto cutoff = config.params.ungapped_cutoff;
+  const bool is_hit_based = config.strategy == ExtensionStrategy::kHit;
+
+  // Output regions: one slot per survivor, offset by an exclusive scan of
+  // survivor counts.
+  std::vector<std::uint32_t> region_base(total_bins + 1, 0);
+  for (std::size_t b = 0; b < total_bins; ++b)
+    region_base[b + 1] = region_base[b] + filtered.counts[b];
+  ExtensionRecords records(region_base.back());
+  std::vector<std::uint32_t> emitted(total_bins, 0);
+
+  // Fixed grid; warps stride over bins, exactly as Algorithms 3-5 do
+  // ("i <- warpId; ... i <- i + numWarps").
+  constexpr int kBlockThreads = 128;
+  const int warps_per_block = kBlockThreads / 32;
+  const int grid_blocks = std::max<int>(
+      1, std::min<int>(16, static_cast<int>(
+                               (total_bins +
+                                static_cast<std::size_t>(warps_per_block) -
+                                1) /
+                               static_cast<std::size_t>(warps_per_block))));
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelExtension;
+  cfg.grid_blocks = grid_blocks;
+  cfg.block_threads = kBlockThreads;
+  cfg.regs_per_thread = 48;
+
+  std::uint64_t extensions_run = 0;
+
+  auto bin_view = [&](std::size_t b) {
+    return BinView{filtered.offsets[b], filtered.counts[b],
+                   filtered.seg_counts[b]};
+  };
+
+  // Per-lane fetch of a packed hit plus its subject extent.
+  auto fetch_hit = [&](WarpExec& w, const LaneArray<std::uint32_t>& index,
+                       LaneArray<std::uint64_t>& packed,
+                       LaneArray<std::uint32_t>& seq,
+                       LaneArray<std::int32_t>& diag,
+                       LaneArray<std::uint32_t>& spos,
+                       LaneArray<std::uint32_t>& qpos,
+                       LaneArray<std::uint32_t>& seq_off,
+                       LaneArray<std::uint32_t>& seq_len) {
+    w.gather(filtered.hits.data(), index, packed);
+    w.vec([&](int lane) {
+      seq[lane] = hit_seq(packed[lane]);
+      diag[lane] = hit_diagonal(packed[lane]);
+      spos[lane] = hit_spos(packed[lane]);
+      qpos[lane] = hit_qpos(packed[lane]);
+    });
+    LaneArray<std::uint32_t> next{};
+    w.gather(block.offsets.data(), seq, seq_off);
+    w.vec([&](int lane) { next[lane] = seq[lane] + 1; });
+    LaneArray<std::uint32_t> hi{};
+    w.gather(block.offsets.data(), next, hi);
+    w.vec([&](int lane) { seq_len[lane] = hi[lane] - seq_off[lane]; });
+  };
+
+  if (config.strategy == ExtensionStrategy::kDiagonal || is_hit_based) {
+    engine.launch(cfg, [&](BlockCtx& ctx) {
+      const DeviceScoring scoring = DeviceScoring::setup(ctx, config, query);
+      ctx.par([&](WarpExec& w) {
+        const auto total_warps =
+            static_cast<std::size_t>(w.num_warps_total());
+        for (std::size_t b = static_cast<std::size_t>(w.global_warp_id());
+             b < total_bins; b += total_warps) {
+        const BinView view = bin_view(b);
+        std::uint32_t cursor = 0;
+        const std::uint32_t out_base = region_base[b];
+
+        if (is_hit_based) {
+          // Algorithm 4: lane per hit, extend everything, de-dup later.
+          LaneArray<std::uint32_t> i{};
+          w.vec([&](int lane) {
+            i[lane] = static_cast<std::uint32_t>(lane);
+          });
+          w.loop_while(
+              [&](int lane) { return i[lane] < view.count; },
+              [&] {
+                LaneArray<std::uint32_t> idx{};
+                w.vec([&](int lane) { idx[lane] = view.base + i[lane]; });
+                LaneArray<std::uint64_t> packed{};
+                LaneArray<std::uint32_t> seq{}, spos{}, qpos{}, seq_off{},
+                    seq_len{};
+                LaneArray<std::int32_t> diag{};
+                fetch_hit(w, idx, packed, seq, diag, spos, qpos, seq_off,
+                          seq_len);
+
+                LaneExtendIo io;
+                w.vec([&](int lane) {
+                  io.qpos[lane] = qpos[lane];
+                  io.spos[lane] = spos[lane];
+                  io.seq_off[lane] = seq_off[lane];
+                  io.seq_len[lane] = seq_len[lane];
+                });
+                lane_extend_ungapped(w, scoring, block.residues.data(),
+                                     query.query_length, config.params, io);
+                extensions_run += static_cast<std::uint64_t>(
+                    w.active_lanes());
+
+                LaneArray<std::uint8_t> emit{};
+                LaneArray<std::uint32_t> diag_biased{};
+                w.vec([&](int lane) {
+                  emit[lane] = 1;  // every record participates in de-dup
+                  diag_biased[lane] = static_cast<std::uint32_t>(
+                      diag[lane] + kDiagonalBias);
+                });
+                emit_records(w, records, out_base, cursor, emit, seq,
+                             diag_biased, spos, io.q_start, io.q_end,
+                             io.score);
+                w.vec([&](int lane) { i[lane] += 32; });
+              });
+        } else {
+          // Algorithm 3: lane per diagonal segment.
+          LaneArray<std::uint32_t> seg{};
+          w.vec([&](int lane) {
+            seg[lane] = static_cast<std::uint32_t>(lane);
+          });
+          w.loop_while(
+              [&](int lane) { return seg[lane] < view.num_segs; },
+              [&] {
+                LaneArray<std::uint32_t> sidx{};
+                LaneArray<std::uint32_t> seg_begin{};
+                LaneArray<std::uint32_t> seg_end{};
+                w.vec([&](int lane) {
+                  sidx[lane] = view.base + seg[lane];
+                });
+                w.gather(filtered.seg_starts.data(), sidx, seg_begin);
+                w.if_then_else(
+                    [&](int lane) { return seg[lane] + 1 < view.num_segs; },
+                    [&] {
+                      LaneArray<std::uint32_t> nidx{};
+                      w.vec([&](int lane) { nidx[lane] = sidx[lane] + 1; });
+                      w.gather(filtered.seg_starts.data(), nidx, seg_end);
+                    },
+                    [&] {
+                      w.vec([&](int lane) { seg_end[lane] = view.count; });
+                    });
+
+                LaneArray<std::uint32_t> k = seg_begin;
+                LaneArray<std::int32_t> ext_reach{};
+                w.vec([&](int lane) { ext_reach[lane] = -1; });
+
+                w.loop_while(
+                    [&](int lane) { return k[lane] < seg_end[lane]; },
+                    [&] {
+                      LaneArray<std::uint32_t> idx{};
+                      w.vec([&](int lane) {
+                        idx[lane] = view.base + k[lane];
+                      });
+                      LaneArray<std::uint64_t> packed{};
+                      LaneArray<std::uint32_t> seq{}, spos{}, qpos{},
+                          seq_off{}, seq_len{};
+                      LaneArray<std::int32_t> diag{};
+                      fetch_hit(w, idx, packed, seq, diag, spos, qpos,
+                                seq_off, seq_len);
+
+                      w.if_then(
+                          [&](int lane) {
+                            return static_cast<std::int32_t>(spos[lane]) >
+                                   ext_reach[lane];
+                          },
+                          [&] {
+                            LaneExtendIo io;
+                            w.vec([&](int lane) {
+                              io.qpos[lane] = qpos[lane];
+                              io.spos[lane] = spos[lane];
+                              io.seq_off[lane] = seq_off[lane];
+                              io.seq_len[lane] = seq_len[lane];
+                            });
+                            lane_extend_ungapped(
+                                w, scoring, block.residues.data(),
+                                query.query_length, config.params, io);
+                            extensions_run += static_cast<std::uint64_t>(
+                                w.active_lanes());
+
+                            LaneArray<std::uint8_t> emit{};
+                            LaneArray<std::uint32_t> diag_biased{};
+                            w.vec([&](int lane) {
+                              ext_reach[lane] = static_cast<std::int32_t>(
+                                  io.q_end[lane]) + diag[lane];
+                              emit[lane] = io.score[lane] >= cutoff ? 1 : 0;
+                              diag_biased[lane] = static_cast<std::uint32_t>(
+                                  diag[lane] + kDiagonalBias);
+                            });
+                            emit_records(w, records, out_base, cursor, emit,
+                                         seq, diag_biased, spos, io.q_start,
+                                         io.q_end, io.score);
+                          });
+                      w.vec([&](int lane) { ++k[lane]; });
+                    });
+                w.vec([&](int lane) { seg[lane] += 32; });
+              });
+        }
+        emitted[b] = cursor;
+        }
+      });
+    });
+  } else {
+    // Algorithm 5: window-based extension (window_kernel.cpp).
+    detail::run_window_extension_kernel(engine, config, query, block,
+                                        filtered, cfg, region_base, records,
+                                        emitted, extensions_run);
+  }
+
+  // Host-side collection (modeled as the D2H copy of the record buffer).
+  ExtensionResult result;
+  result.extensions_run = extensions_run;
+  std::vector<std::tuple<std::uint64_t, blast::UngappedExtension>> staged;
+  for (std::size_t b = 0; b < total_bins; ++b) {
+    for (std::uint32_t r = 0; r < emitted[b]; ++r) {
+      const std::uint32_t slot = region_base[b] + r;
+      blast::UngappedExtension ext;
+      ext.seq = records.seq[slot];
+      ext.q_start = records.q_start[slot];
+      ext.q_end = records.q_end[slot];
+      const std::int32_t diag =
+          static_cast<std::int32_t>(records.diag_biased[slot]) -
+          kDiagonalBias;
+      ext.s_start = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(ext.q_start) + diag);
+      ext.s_end = static_cast<std::uint32_t>(
+          static_cast<std::int32_t>(ext.q_end) + diag);
+      ext.score = records.score[slot];
+      const std::uint64_t order_key =
+          (static_cast<std::uint64_t>(ext.seq) << 32) |
+          (static_cast<std::uint64_t>(records.diag_biased[slot]) << 16) |
+          records.seed_spos[slot];
+      staged.emplace_back(order_key, ext);
+      result.records_d2h_bytes += records.bytes_per_record();
+    }
+  }
+  std::sort(staged.begin(), staged.end());
+
+  if (is_hit_based) {
+    // De-duplication step of Algorithm 4: replay the coverage rule per
+    // (seq, diagonal) over the seed order, exactly as the diagonal-based
+    // kernel applies it inline.
+    std::uint64_t current_group = ~0ULL;
+    std::int64_t ext_reach = -1;
+    for (const auto& [key, ext] : staged) {
+      const std::uint64_t group = key >> 16;
+      const auto seed_spos = static_cast<std::uint32_t>(key & 0xffff);
+      if (group != current_group) {
+        current_group = group;
+        ext_reach = -1;
+      }
+      if (static_cast<std::int64_t>(seed_spos) <= ext_reach) continue;
+      ext_reach = ext.s_end;
+      if (ext.score >= cutoff) result.extensions.push_back(ext);
+    }
+  } else {
+    result.extensions.reserve(staged.size());
+    for (const auto& [key, ext] : staged) result.extensions.push_back(ext);
+  }
+  return result;
+}
+
+}  // namespace repro::core

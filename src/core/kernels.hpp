@@ -1,0 +1,86 @@
+// The fine-grained cuBLASTP kernels (paper §3.2–3.4):
+//   K1 hit detection with binning        (Algorithm 2, Fig. 5)
+//   K2 hit assembling                    (Fig. 6a)
+//   K3 hit sorting                       (Fig. 6b; gpualgo segmented sort)
+//   K4 hit filtering + segment indexing  (Fig. 6c)
+//   K5 ungapped extension                (Algorithms 3/4/5, Fig. 9)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "blast/types.hpp"
+#include "core/bins.hpp"
+#include "core/config.hpp"
+#include "core/device_data.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+/// Kernel names as they appear in the profile registry (Fig. 19 rows).
+inline constexpr const char* kKernelDetection = "hit_detection";
+inline constexpr const char* kKernelAssemble = "hit_assemble";
+inline constexpr const char* kKernelScan = "bin_scan";
+inline constexpr const char* kKernelSort = "hit_sort";
+inline constexpr const char* kKernelFilter = "hit_filter";
+inline constexpr const char* kKernelExtension = "ungapped_extension";
+
+struct DetectionResult {
+  std::uint64_t total_hits = 0;
+  bool overflowed = false;
+};
+
+/// K1: warp-per-sequence, lane-per-word hit detection writing packed hits
+/// into the warp's bins (shared-memory top[] counters, paper Algorithm 2).
+DetectionResult launch_hit_detection(simt::Engine& engine,
+                                     const Config& config,
+                                     const QueryDevice& query,
+                                     const BlockDevice& block, BinGrid& bins);
+
+struct AssembledBins {
+  simt::DeviceVector<std::uint64_t> hits;  ///< contiguous, pow2-padded bins
+  std::vector<std::uint32_t> offsets;      ///< total_bins+1 padded offsets
+  simt::DeviceVector<std::uint32_t> counts;  ///< true count per bin
+  std::uint64_t total_hits = 0;
+};
+
+/// K2: compacts the fixed-capacity bins into one contiguous buffer (block
+/// per bin, coalesced copy), padding each bin to a power of two for the
+/// bitonic segmented sort.
+AssembledBins launch_assemble(simt::Engine& engine, const BinGrid& bins);
+
+/// K3: sorts every bin by the packed (seq | diagonal | spos) key.
+void launch_sort(simt::Engine& engine, AssembledBins& assembled);
+
+struct FilteredBins {
+  simt::DeviceVector<std::uint64_t> hits;       ///< survivors per bin region
+  std::vector<std::uint32_t> offsets;           ///< same regions as assembled
+  simt::DeviceVector<std::uint32_t> counts;     ///< survivors per bin
+  simt::DeviceVector<std::uint32_t> seg_starts; ///< bin-relative indices
+  simt::DeviceVector<std::uint32_t> seg_counts; ///< segments per bin
+  std::uint64_t total_survivors = 0;
+  std::uint64_t total_segments = 0;
+};
+
+/// K4: two-hit filter — a hit survives iff its left neighbour in the sorted
+/// bin is on the same (sequence, diagonal) within the window A — plus
+/// (seq, diagonal)-segment start indexing for the extension kernels.
+FilteredBins launch_filter(simt::Engine& engine, const Config& config,
+                           const AssembledBins& assembled);
+
+struct ExtensionResult {
+  /// Qualifying extensions (score >= ungapped_cutoff), de-duplicated,
+  /// seq indices block-local (caller rebases by BlockDevice::first_seq).
+  std::vector<blast::UngappedExtension> extensions;
+  std::uint64_t extensions_run = 0;   ///< includes hit-based redundancy
+  std::uint64_t records_d2h_bytes = 0;
+};
+
+/// K5: one of the three fine-grained extension kernels per
+/// config.strategy.
+ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
+                                 const QueryDevice& query,
+                                 const BlockDevice& block,
+                                 const FilteredBins& filtered);
+
+}  // namespace repro::core

@@ -1,0 +1,127 @@
+// Per-lane ungapped x-drop extension in SIMT form.
+//
+// Each active lane extends its own word hit along its diagonal; the warp
+// steps all lanes in lockstep, so lanes whose extension terminates early
+// idle until the longest extension in the warp finishes — exactly the load
+// imbalance the paper attributes to hit-based extension (§3.4) and the
+// divergence Fig. 16b measures. The arithmetic mirrors
+// blast::extend_ungapped step for step, so the kernels reproduce the
+// scalar reference bit-for-bit.
+#pragma once
+
+#include "blast/types.hpp"
+#include "core/scoring.hpp"
+#include "simt/warp.hpp"
+
+namespace repro::core {
+
+struct LaneExtendIo {
+  // Inputs (per lane): word-hit coordinates and subject extent.
+  simt::LaneArray<std::uint32_t> qpos{};
+  simt::LaneArray<std::uint32_t> spos{};
+  simt::LaneArray<std::uint32_t> seq_off{};  ///< offset into block residues
+  simt::LaneArray<std::uint32_t> seq_len{};
+  // Outputs (per lane).
+  simt::LaneArray<int> score{};
+  simt::LaneArray<std::uint32_t> q_start{};
+  simt::LaneArray<std::uint32_t> q_end{};
+};
+
+/// Runs the extension for every active lane of `w`.
+inline void lane_extend_ungapped(simt::WarpExec& w,
+                                 const DeviceScoring& scoring,
+                                 const std::uint8_t* residues,
+                                 std::uint32_t query_length,
+                                 const blast::SearchParams& params,
+                                 LaneExtendIo& io) {
+  const auto word = static_cast<std::uint32_t>(params.word_length);
+  const int xdrop = params.ungapped_xdrop;
+
+  simt::LaneArray<std::uint32_t> sidx{};
+  simt::LaneArray<std::uint8_t> sres{};
+  simt::LaneArray<std::uint32_t> qp{};
+  simt::LaneArray<int> pair_score{};
+
+  // Seed-word score: W lockstep steps.
+  simt::LaneArray<int> word_score{};
+  for (std::uint32_t k = 0; k < word; ++k) {
+    w.vec([&](int lane) {
+      qp[lane] = io.qpos[lane] + k;
+      sidx[lane] = io.seq_off[lane] + io.spos[lane] + k;
+    });
+    w.gather(residues, sidx, sres);
+    scoring.score_step(w, qp, sres, pair_score);
+    w.vec([&](int lane) { word_score[lane] += pair_score[lane]; });
+  }
+
+  // Rightward extension.
+  simt::LaneArray<int> running{};
+  simt::LaneArray<int> best{};
+  simt::LaneArray<std::uint32_t> best_off{};
+  simt::LaneArray<std::uint32_t> k{};
+  simt::LaneArray<std::uint8_t> done{};
+  w.loop_while(
+      [&](int lane) {
+        return done[lane] == 0 &&
+               io.qpos[lane] + word + k[lane] < query_length &&
+               io.spos[lane] + word + k[lane] < io.seq_len[lane];
+      },
+      [&] {
+        w.vec([&](int lane) {
+          qp[lane] = io.qpos[lane] + word + k[lane];
+          sidx[lane] = io.seq_off[lane] + io.spos[lane] + word + k[lane];
+        });
+        w.gather(residues, sidx, sres);
+        scoring.score_step(w, qp, sres, pair_score);
+        w.vec([&](int lane) {
+          running[lane] += pair_score[lane];
+          if (running[lane] > best[lane]) {
+            best[lane] = running[lane];
+            best_off[lane] = k[lane] + 1;
+          }
+          if (best[lane] - running[lane] > xdrop) done[lane] = 1;
+          ++k[lane];
+        });
+      });
+  simt::LaneArray<int> right_gain = best;
+  simt::LaneArray<std::uint32_t> right_off = best_off;
+
+  // Leftward extension.
+  w.vec([&](int lane) {
+    running[lane] = 0;
+    best[lane] = 0;
+    best_off[lane] = 0;
+    k[lane] = 1;
+    done[lane] = 0;
+  });
+  w.loop_while(
+      [&](int lane) {
+        return done[lane] == 0 && k[lane] <= io.qpos[lane] &&
+               k[lane] <= io.spos[lane];
+      },
+      [&] {
+        w.vec([&](int lane) {
+          qp[lane] = io.qpos[lane] - k[lane];
+          sidx[lane] = io.seq_off[lane] + io.spos[lane] - k[lane];
+        });
+        w.gather(residues, sidx, sres);
+        scoring.score_step(w, qp, sres, pair_score);
+        w.vec([&](int lane) {
+          running[lane] += pair_score[lane];
+          if (running[lane] > best[lane]) {
+            best[lane] = running[lane];
+            best_off[lane] = k[lane];
+          }
+          if (best[lane] - running[lane] > xdrop) done[lane] = 1;
+          ++k[lane];
+        });
+      });
+
+  w.vec([&](int lane) {
+    io.score[lane] = word_score[lane] + right_gain[lane] + best[lane];
+    io.q_start[lane] = io.qpos[lane] - best_off[lane];
+    io.q_end[lane] = io.qpos[lane] + word - 1 + right_off[lane];
+  });
+}
+
+}  // namespace repro::core

@@ -1,0 +1,147 @@
+#include "core/scoring.hpp"
+
+namespace repro::core {
+
+namespace {
+
+/// Shared budget we allow the PSSM before falling back to global memory:
+/// leave headroom for the other shared allocations of the kernel.
+constexpr std::size_t kPssmSharedBudget = 40 * 1024;
+
+/// Cooperative copy of a global int16 buffer into shared memory.
+void copy_to_shared(simt::BlockCtx& ctx, const std::int16_t* src,
+                    std::span<std::int16_t> dst) {
+  ctx.par([&](simt::WarpExec& w) {
+    const auto n = static_cast<std::uint32_t>(dst.size());
+    const auto stride = static_cast<std::uint32_t>(w.warps_per_block()) * 32;
+    simt::LaneArray<std::uint32_t> idx{};
+    w.vec([&](int lane) {
+      idx[lane] = static_cast<std::uint32_t>(w.warp_in_block()) * 32 +
+                  static_cast<std::uint32_t>(lane);
+    });
+    w.loop_while([&](int lane) { return idx[lane] < n; }, [&] {
+      simt::LaneArray<std::int16_t> vals{};
+      w.gather(src, idx, vals);
+      w.sh_scatter(dst, idx, vals);
+      w.vec([&](int lane) { idx[lane] += stride; });
+    });
+  });
+}
+
+void copy_to_shared_u8(simt::BlockCtx& ctx, const std::uint8_t* src,
+                       std::span<std::uint8_t> dst) {
+  ctx.par([&](simt::WarpExec& w) {
+    const auto n = static_cast<std::uint32_t>(dst.size());
+    const auto stride = static_cast<std::uint32_t>(w.warps_per_block()) * 32;
+    simt::LaneArray<std::uint32_t> idx{};
+    w.vec([&](int lane) {
+      idx[lane] = static_cast<std::uint32_t>(w.warp_in_block()) * 32 +
+                  static_cast<std::uint32_t>(lane);
+    });
+    w.loop_while([&](int lane) { return idx[lane] < n; }, [&] {
+      simt::LaneArray<std::uint8_t> vals{};
+      w.gather(src, idx, vals);
+      w.sh_scatter(dst, idx, vals);
+      w.vec([&](int lane) { idx[lane] += stride; });
+    });
+  });
+}
+
+}  // namespace
+
+DeviceScoring::Impl DeviceScoring::select(const Config& config,
+                                          std::size_t query_length) {
+  switch (config.scoring) {
+    case ScoringMode::kBlosum:
+      return Impl::kBlosumShared;
+    case ScoringMode::kPssm:
+      // Past the shared budget the PSSM falls back to plain global memory
+      // (paper: "we put it into the global memory"; the read-only cache of
+      // Fig. 10 serves the DFA, not the PSSM).
+      return query_length * 64 <= kPssmSharedBudget
+                 ? Impl::kPssmShared
+                 : Impl::kPssmGlobalUncached;
+    case ScoringMode::kAuto:
+      if (query_length <= config.auto_pssm_max_query)
+        return Impl::kPssmShared;
+      return Impl::kBlosumShared;
+  }
+  return Impl::kBlosumShared;
+}
+
+DeviceScoring DeviceScoring::setup(simt::BlockCtx& ctx, const Config& config,
+                                   const QueryDevice& query) {
+  DeviceScoring scoring;
+  scoring.impl_ = select(config, query.query_length);
+  switch (scoring.impl_) {
+    case Impl::kPssmShared: {
+      auto dst = ctx.shared().alloc<std::int16_t>(query.pssm.size());
+      copy_to_shared(ctx, query.pssm.data(), dst);
+      scoring.pssm_shared_ = dst;
+      break;
+    }
+    case Impl::kPssmGlobal:
+    case Impl::kPssmGlobalUncached:
+      scoring.pssm_global_ = query.pssm.data();
+      break;
+    case Impl::kBlosumShared: {
+      auto matrix = ctx.shared().alloc<std::int16_t>(query.blosum.size());
+      copy_to_shared(ctx, query.blosum.data(), matrix);
+      scoring.blosum_shared_ = matrix;
+      auto q = ctx.shared().alloc<std::uint8_t>(query.query.size());
+      copy_to_shared_u8(ctx, query.query.data(), q);
+      scoring.query_shared_ = q;
+      break;
+    }
+  }
+  return scoring;
+}
+
+DeviceScoring DeviceScoring::plain_global_pssm(const QueryDevice& query) {
+  DeviceScoring scoring;
+  scoring.impl_ = Impl::kPssmGlobalUncached;
+  scoring.pssm_global_ = query.pssm.data();
+  return scoring;
+}
+
+void DeviceScoring::score_step(simt::WarpExec& w,
+                               const simt::LaneArray<std::uint32_t>& qpos,
+                               const simt::LaneArray<std::uint8_t>& sres,
+                               simt::LaneArray<int>& out) const {
+  simt::LaneArray<std::uint32_t> idx{};
+  simt::LaneArray<std::int16_t> score{};
+  switch (impl_) {
+    case Impl::kPssmShared:
+      w.vec([&](int lane) {
+        idx[lane] = qpos[lane] * bio::kPaddedMatrixDim + sres[lane];
+      });
+      w.sh_gather<std::int16_t, std::uint32_t>(pssm_shared_, idx,
+                                                     score);
+      break;
+    case Impl::kPssmGlobal:
+    case Impl::kPssmGlobalUncached:
+      w.vec([&](int lane) {
+        idx[lane] = qpos[lane] * bio::kPaddedMatrixDim + sres[lane];
+      });
+      w.gather(pssm_global_, idx, score,
+               impl_ == Impl::kPssmGlobal ? simt::MemKind::kReadOnly
+                                          : simt::MemKind::kGlobal);
+      break;
+    case Impl::kBlosumShared: {
+      simt::LaneArray<std::uint8_t> qres{};
+      w.sh_gather<std::uint8_t, std::uint32_t>(query_shared_, qpos,
+                                                     qres);
+      w.vec([&](int lane) {
+        idx[lane] = static_cast<std::uint32_t>(qres[lane]) *
+                        bio::kPaddedMatrixDim +
+                    sres[lane];
+      });
+      w.sh_gather<std::int16_t, std::uint32_t>(blosum_shared_, idx,
+                                                     score);
+      break;
+    }
+  }
+  w.vec([&](int lane) { out[lane] = score[lane]; });
+}
+
+}  // namespace repro::core

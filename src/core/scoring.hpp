@@ -1,0 +1,61 @@
+// Device-side residue-pair scoring for the extension kernels, realizing the
+// paper's §3.5 trade-off (Fig. 15):
+//
+//  * PSSM in shared memory — one shared load per pair, but the PSSM is
+//    64 bytes per query column, so long queries eat the 48 kB budget and
+//    crush occupancy (and past the budget it falls back to global memory
+//    through the read-only cache);
+//  * BLOSUM62 in shared memory — fixed 2 kB, full occupancy, but costs an
+//    extra shared load (the query residue) per pair.
+//
+// DeviceScoring::setup() allocates and cooperatively fills the shared
+// buffers for one block, charging the copy like a real kernel prologue.
+#pragma once
+
+#include <span>
+
+#include "core/config.hpp"
+#include "core/device_data.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+class DeviceScoring {
+ public:
+  enum class Impl {
+    kPssmShared,
+    kPssmGlobal,          ///< global memory through the read-only cache
+    kPssmGlobalUncached,  ///< plain global memory (coarse baselines)
+    kBlosumShared,
+  };
+
+  /// Picks the implementation for a query under the configured mode.
+  [[nodiscard]] static Impl select(const Config& config,
+                                   std::size_t query_length);
+
+  /// Allocates shared buffers in `ctx` and fills them cooperatively.
+  static DeviceScoring setup(simt::BlockCtx& ctx, const Config& config,
+                             const QueryDevice& query);
+
+  /// PSSM kept in plain global memory (no shared staging, no read-only
+  /// cache tagging): the pre-Kepler configuration the coarse-grained
+  /// baselines use.
+  static DeviceScoring plain_global_pssm(const QueryDevice& query);
+
+  [[nodiscard]] Impl impl() const { return impl_; }
+
+  /// One warp-level scoring step: out[lane] = score(query[qpos], sres).
+  void score_step(simt::WarpExec& w,
+                  const simt::LaneArray<std::uint32_t>& qpos,
+                  const simt::LaneArray<std::uint8_t>& sres,
+                  simt::LaneArray<int>& out) const;
+
+ private:
+  Impl impl_ = Impl::kBlosumShared;
+  std::span<const std::int16_t> pssm_shared_;
+  const std::int16_t* pssm_global_ = nullptr;
+  std::span<const std::int16_t> blosum_shared_;
+  std::span<const std::uint8_t> query_shared_;
+};
+
+}  // namespace repro::core

@@ -1,0 +1,21 @@
+// Block/grid prefix scan expressed as SIMT kernels (the CUB-scan stand-in
+// of DESIGN.md §1). Used to turn per-bin hit counts into bin offsets during
+// hit assembling.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "simt/engine.hpp"
+
+namespace repro::gpualgo {
+
+/// Exclusive plus-scan of `input`, executed on the SIMT engine.
+/// Returns input.size() + 1 values; the last is the total.
+[[nodiscard]] std::vector<std::uint32_t> exclusive_scan_device(
+    simt::Engine& engine, std::span<const std::uint32_t> input,
+    const std::string& kernel_name = "scan");
+
+}  // namespace repro::gpualgo

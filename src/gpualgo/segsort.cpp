@@ -1,0 +1,146 @@
+#include "gpualgo/segsort.hpp"
+
+#include <stdexcept>
+
+namespace repro::gpualgo {
+
+namespace {
+
+constexpr int kBlockThreads = 128;
+
+/// Segments up to this many elements are staged in shared memory (32 kB of
+/// the 48 kB budget), sorted there, and written back — the ModernGPU
+/// approach. Larger segments fall back to compare-exchange in global
+/// memory.
+constexpr std::uint32_t kMaxSharedElems = 4096;
+
+using simt::BlockCtx;
+using simt::LaneArray;
+using simt::WarpExec;
+
+/// One bitonic (k, j) pass over `n` elements accessed through `get`/`put`.
+template <class Get, class Put>
+void bitonic_pass(BlockCtx& ctx, std::uint32_t n, std::uint32_t k,
+                  std::uint32_t j, Get&& get, Put&& put) {
+  const std::uint32_t pairs = n / 2;
+  ctx.par([&](WarpExec& w) {
+    LaneArray<std::uint32_t> l{};
+    w.vec([&](int lane) {
+      l[lane] = static_cast<std::uint32_t>(w.warp_in_block() *
+                                               simt::kWarpSize +
+                                           lane);
+    });
+    w.loop_while(
+        [&](int lane) { return l[lane] < pairs; },
+        [&] {
+          LaneArray<std::uint32_t> i{};
+          LaneArray<std::uint32_t> partner{};
+          LaneArray<std::uint64_t> a{};
+          LaneArray<std::uint64_t> b{};
+          w.vec([&](int lane) {
+            const auto s = static_cast<std::size_t>(lane);
+            // Expand leader index: insert a 0 bit at position log2(j).
+            const std::uint32_t low = l[s] & (j - 1);
+            const std::uint32_t high = (l[s] & ~(j - 1)) << 1;
+            i[s] = high | low;
+            partner[s] = i[s] | j;
+          });
+          get(w, i, a);
+          get(w, partner, b);
+          w.vec([&](int lane) {
+            const auto s = static_cast<std::size_t>(lane);
+            const bool ascending = (i[s] & k) == 0;
+            if ((a[s] > b[s]) == ascending) std::swap(a[s], b[s]);
+          });
+          put(w, i, a);
+          put(w, partner, b);
+          w.vec([&](int lane) { l[lane] += kBlockThreads; });
+        });
+  });
+}
+
+/// Cooperative copy between global and shared.
+void copy_seg(BlockCtx& ctx, std::uint32_t n, std::uint64_t* global,
+              std::span<std::uint64_t> shared, bool to_shared) {
+  ctx.par([&](WarpExec& w) {
+    LaneArray<std::uint32_t> i{};
+    w.vec([&](int lane) {
+      i[lane] = static_cast<std::uint32_t>(w.warp_in_block() *
+                                               simt::kWarpSize +
+                                           lane);
+    });
+    w.loop_while([&](int lane) { return i[lane] < n; }, [&] {
+      LaneArray<std::uint64_t> v{};
+      if (to_shared) {
+        w.gather(global, i, v);
+        w.sh_scatter(shared, i, v);
+      } else {
+        w.sh_gather<std::uint64_t, std::uint32_t>(shared, i, v);
+        w.scatter(global, i, v);
+      }
+      w.vec([&](int lane) { i[lane] += kBlockThreads; });
+    });
+  });
+}
+
+}  // namespace
+
+void segmented_sort_u64(simt::Engine& engine, std::span<std::uint64_t> data,
+                        std::span<const std::uint32_t> seg_offsets,
+                        const std::string& kernel_name) {
+  if (seg_offsets.size() < 2) return;
+  const int num_segments = static_cast<int>(seg_offsets.size() - 1);
+
+  simt::LaunchConfig config;
+  config.name = kernel_name;
+  config.grid_blocks = num_segments;
+  config.block_threads = kBlockThreads;
+  config.regs_per_thread = 24;
+
+  engine.launch(config, [&](BlockCtx& ctx) {
+    const std::uint32_t seg_begin =
+        seg_offsets[static_cast<std::size_t>(ctx.block_id())];
+    const std::uint32_t seg_end =
+        seg_offsets[static_cast<std::size_t>(ctx.block_id()) + 1];
+    const std::uint32_t n = seg_end - seg_begin;
+    if (n <= 1) return;
+    if ((n & (n - 1)) != 0)
+      throw std::invalid_argument(
+          "segmented_sort_u64: segment length must be a power of two");
+
+    std::uint64_t* seg = data.data() + seg_begin;
+
+    if (n <= kMaxSharedElems) {
+      // Stage the segment in shared memory and sort there.
+      auto buffer = ctx.shared().alloc<std::uint64_t>(n);
+      copy_seg(ctx, n, seg, buffer, /*to_shared=*/true);
+      auto get = [&](WarpExec& w, const LaneArray<std::uint32_t>& idx,
+                     LaneArray<std::uint64_t>& out) {
+        w.sh_gather<std::uint64_t, std::uint32_t>(buffer, idx, out);
+      };
+      auto put = [&](WarpExec& w, const LaneArray<std::uint32_t>& idx,
+                     const LaneArray<std::uint64_t>& vals) {
+        w.sh_scatter<std::uint64_t, std::uint32_t>(buffer, idx, vals);
+      };
+      for (std::uint32_t k = 2; k <= n; k <<= 1)
+        for (std::uint32_t j = k >> 1; j >= 1; j >>= 1)
+          bitonic_pass(ctx, n, k, j, get, put);
+      copy_seg(ctx, n, seg, buffer, /*to_shared=*/false);
+    } else {
+      // Oversized segment: sort in place in global memory.
+      auto get = [&](WarpExec& w, const LaneArray<std::uint32_t>& idx,
+                     LaneArray<std::uint64_t>& out) {
+        w.gather(seg, idx, out);
+      };
+      auto put = [&](WarpExec& w, const LaneArray<std::uint32_t>& idx,
+                     const LaneArray<std::uint64_t>& vals) {
+        w.scatter(seg, idx, vals);
+      };
+      for (std::uint32_t k = 2; k <= n; k <<= 1)
+        for (std::uint32_t j = k >> 1; j >= 1; j >>= 1)
+          bitonic_pass(ctx, n, k, j, get, put);
+    }
+  });
+}
+
+}  // namespace repro::gpualgo

@@ -1,0 +1,33 @@
+// Segmented sort of 64-bit keys, expressed as a SIMT kernel: one block per
+// segment running an in-place bitonic network (the ModernGPU segmented-sort
+// stand-in of DESIGN.md §1). cuBLASTP sorts each hit bin with this; the
+// packed (sequence | diagonal | subject-position) key (paper Fig. 7) makes
+// one ascending sort order the hits for the extension kernels.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "simt/engine.hpp"
+
+namespace repro::gpualgo {
+
+/// Sentinel used to pad segments to a power of two; sorts to the end.
+inline constexpr std::uint64_t kSortPad = ~0ULL;
+
+/// Next power of two (>= 1).
+[[nodiscard]] constexpr std::uint32_t next_pow2(std::uint32_t n) {
+  std::uint32_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// Sorts each segment of `data` ascending. seg_offsets has num_segments+1
+/// entries; each segment's length must be a power of two (pad with
+/// kSortPad). Segments of length <= 1 are untouched.
+void segmented_sort_u64(simt::Engine& engine, std::span<std::uint64_t> data,
+                        std::span<const std::uint32_t> seg_offsets,
+                        const std::string& kernel_name = "hit_sort");
+
+}  // namespace repro::gpualgo

@@ -1,0 +1,39 @@
+#include "simt/cost_model.hpp"
+
+#include <algorithm>
+
+namespace repro::simt {
+
+void CostModel::apply(const DeviceSpec& spec, KernelStats& stats) const {
+  // A grid smaller than the SM count leaves SMs idle.
+  const int utilized_sms = std::min<int>(
+      spec.num_sms,
+      std::max<std::uint64_t>(1, stats.num_blocks));
+  const double issue_ops =
+      static_cast<double>(stats.vec_ops + stats.atomic_serial_passes +
+                          stats.shared_conflict_passes);
+  const double issue_cycles =
+      issue_cycles_per_op * issue_ops +
+      cycles_per_shared_op * static_cast<double>(stats.shared_ops);
+
+  const double hiding =
+      std::clamp(stats.occupancy / occupancy_knee, min_latency_hiding, 1.0);
+  const double transactions =
+      static_cast<double>(stats.ld_transactions + stats.st_transactions);
+  const double mem_cycles = cycles_per_transaction * transactions / hiding;
+  const double rocache_cycles =
+      cycles_per_rocache_hit * static_cast<double>(stats.rocache_hits);
+
+  const double cycles_total = issue_cycles + mem_cycles + rocache_cycles;
+  const double cycles_per_ms =
+      static_cast<double>(utilized_sms) * spec.clock_ghz * 1e6;
+  stats.time_ms = cycles_total / cycles_per_ms;
+}
+
+double CostModel::transfer_ms(const DeviceSpec& spec,
+                              std::uint64_t bytes) const {
+  const double gb = static_cast<double>(bytes) / 1e9;
+  return gb / spec.pcie_gbytes_per_sec * 1e3;
+}
+
+}  // namespace repro::simt

@@ -1,0 +1,48 @@
+// Kernel-time cost model (DESIGN.md §5).
+//
+// Inputs are *measured* per launch by the SIMT engine: warp instruction
+// steps, memory transactions (after the read-only cache), shared/atomic
+// serialization passes, and the occupancy achieved by the launch shape.
+// The model converts them to milliseconds on the modeled device:
+//
+//   issue_cycles = kIssueCyclesPerOp  * (vec_ops + conflict/atomic passes)
+//   mem_cycles   = kCyclesPerTransaction * transactions / latency_hiding
+//   rocache_cycles = kCyclesPerRoHit * rocache_hits
+//   time = (issue + mem + rocache) / (num_sms * clock)
+//
+// latency_hiding = clamp(occupancy / kOccupancyKnee, kMinHiding, 1): a
+// kernel below the knee cannot keep the memory pipeline busy, which is the
+// mechanism behind the paper's occupancy-driven effects (Fig. 14/15).
+// The constants are calibrated once, here, and never per-experiment.
+#pragma once
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace repro::simt {
+
+struct CostModel {
+  // Physically derived for the K20c, then derated 2x for effects the
+  // model does not represent (issue-slot contention, replay, ECC):
+  // each SM dual-issues from 4 schedulers (~4 warp-instructions/cycle), so
+  // one warp-level step costs ~0.25 SM-cycles; DRAM sustains ~208 GB/s =
+  // 6.5 G 32-byte sectors/s against 13 x 0.706 GHz SM-cycles, i.e. ~1.4
+  // SM-cycles per sector; shared memory and the read-only cache sit in
+  // between. All constants carry the same 2x derate so intra-GPU ratios
+  // are unaffected.
+  double issue_cycles_per_op = 0.5;
+  double cycles_per_transaction = 2.8;
+  double cycles_per_rocache_hit = 0.7;
+  double cycles_per_shared_op = 0.25;
+  double occupancy_knee = 0.3;
+  double min_latency_hiding = 0.1;
+
+  /// Fills stats.time_ms from the measured counters.
+  void apply(const DeviceSpec& spec, KernelStats& stats) const;
+
+  /// PCIe transfer time (ms) for `bytes` in one direction.
+  [[nodiscard]] double transfer_ms(const DeviceSpec& spec,
+                                   std::uint64_t bytes) const;
+};
+
+}  // namespace repro::simt

@@ -1,0 +1,29 @@
+// Device specification for the SIMT execution engine.
+//
+// Defaults model the NVIDIA Tesla K20c (Kepler GK110) the paper evaluates
+// on: 13 SMs at 706 MHz, 2048 resident threads and 48 kB of shared memory
+// per SM, a 48 kB read-only data cache, and PCIe gen2 transfers.
+#pragma once
+
+#include <cstddef>
+
+namespace repro::simt {
+
+inline constexpr int kWarpSize = 32;
+
+struct DeviceSpec {
+  const char* name = "K20c-sim";
+  int num_sms = 13;
+  double clock_ghz = 0.706;
+  int max_threads_per_sm = 2048;
+  int max_blocks_per_sm = 16;
+  std::size_t shared_mem_per_sm = 48 * 1024;
+  std::size_t shared_mem_per_block = 48 * 1024;
+  int registers_per_sm = 65536;
+  int max_threads_per_block = 1024;
+  std::size_t readonly_cache_bytes = 48 * 1024;
+  std::size_t memory_transaction_bytes = 128;
+  double pcie_gbytes_per_sec = 6.0;  ///< effective H2D/D2H bandwidth
+};
+
+}  // namespace repro::simt

@@ -1,0 +1,75 @@
+#include "simt/engine.hpp"
+
+#include <stdexcept>
+
+namespace repro::simt {
+
+Engine::Engine(DeviceSpec spec, CostModel cost)
+    : spec_(spec), cost_(cost) {
+  sm_caches_.reserve(static_cast<std::size_t>(spec_.num_sms));
+  for (int i = 0; i < spec_.num_sms; ++i)
+    sm_caches_.emplace_back(spec_.readonly_cache_bytes,
+                            spec_.memory_transaction_bytes);
+}
+
+void Engine::set_readonly_cache_enabled(bool enabled) {
+  rocache_enabled_ = enabled;
+}
+
+void Engine::reset_caches() {
+  for (auto& cache : sm_caches_) cache.clear();
+}
+
+KernelStats Engine::launch(const LaunchConfig& config,
+                           const std::function<void(BlockCtx&)>& kernel) {
+  if (config.block_threads <= 0 || config.block_threads % kWarpSize != 0)
+    throw std::invalid_argument(
+        "Engine::launch: block_threads must be a positive multiple of 32");
+  if (config.grid_blocks <= 0)
+    throw std::invalid_argument("Engine::launch: grid_blocks must be > 0");
+  if (config.block_threads > spec_.max_threads_per_block)
+    throw std::invalid_argument(
+        "Engine::launch: block_threads exceeds device limit");
+
+  KernelStats stats;
+  stats.name = config.name;
+  stats.block_threads = config.block_threads;
+  stats.regs_per_thread = config.regs_per_thread;
+  stats.num_blocks = static_cast<std::uint64_t>(config.grid_blocks);
+
+  const int warps_per_block = config.block_threads / kWarpSize;
+  std::size_t shared_high_water = 0;
+  for (int b = 0; b < config.grid_blocks; ++b) {
+    // Round-robin block -> SM assignment for the read-only cache model.
+    ReadOnlyCache* cache =
+        rocache_enabled_
+            ? &sm_caches_[static_cast<std::size_t>(b % spec_.num_sms)]
+            : nullptr;
+    BlockCtx block(*this, stats, cache, b, config.grid_blocks,
+                   warps_per_block, spec_.shared_mem_per_block);
+    kernel(block);
+    shared_high_water = std::max(shared_high_water,
+                                 block.shared().high_water());
+  }
+
+  stats.shared_bytes = shared_high_water;
+  stats.occupancy =
+      compute_occupancy(spec_, config.block_threads, shared_high_water,
+                        config.regs_per_thread)
+          .occupancy;
+  cost_.apply(spec_, stats);
+  profile_.add(stats);
+  return stats;
+}
+
+double Engine::transfer(const std::string& label, std::uint64_t bytes) {
+  const double ms = cost_.transfer_ms(spec_, bytes);
+  KernelStats stats;
+  stats.name = label;
+  stats.st_bytes_requested = bytes;
+  stats.time_ms = ms;
+  profile_.add(stats);
+  return ms;
+}
+
+}  // namespace repro::simt

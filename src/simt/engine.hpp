@@ -1,0 +1,108 @@
+// Kernel launching: grids of blocks of warps, executed deterministically.
+//
+// A kernel is a function of BlockCtx. Within a block, parallel regions are
+// expressed with BlockCtx::par(...), which runs the region for every warp
+// of the block; consecutive par() calls are separated by an implicit
+// __syncthreads() barrier (warps of a region complete before the next
+// region starts), which is exactly the structure block-cooperative GPU
+// algorithms (e.g. the segmented bitonic sort) need.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "simt/cost_model.hpp"
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+#include "simt/occupancy.hpp"
+#include "simt/rocache.hpp"
+#include "simt/shared_memory.hpp"
+#include "simt/warp.hpp"
+
+namespace repro::simt {
+
+struct LaunchConfig {
+  std::string name;
+  int grid_blocks = 1;
+  int block_threads = 128;   ///< must be a positive multiple of 32
+  int regs_per_thread = 32;  ///< declared estimate, feeds occupancy
+};
+
+class Engine;
+
+/// Execution context of one block.
+class BlockCtx {
+ public:
+  BlockCtx(Engine& engine, KernelStats& stats, ReadOnlyCache* rocache,
+           int block_id, int grid_blocks, int warps_per_block,
+           std::size_t shared_capacity)
+      : engine_(&engine),
+        stats_(&stats),
+        rocache_(rocache),
+        block_id_(block_id),
+        grid_blocks_(grid_blocks),
+        warps_per_block_(warps_per_block),
+        shared_(shared_capacity) {}
+
+  [[nodiscard]] int block_id() const { return block_id_; }
+  [[nodiscard]] int grid_blocks() const { return grid_blocks_; }
+  [[nodiscard]] int warps_per_block() const { return warps_per_block_; }
+  [[nodiscard]] SharedMemory& shared() { return shared_; }
+
+  /// Runs `region` for every warp of the block, then joins (barrier).
+  void par(const std::function<void(WarpExec&)>& region) {
+    for (int w = 0; w < warps_per_block_; ++w) {
+      WarpExec warp(*stats_, rocache_, block_id_, w, warps_per_block_,
+                    grid_blocks_);
+      region(warp);
+    }
+  }
+
+ private:
+  Engine* engine_;
+  KernelStats* stats_;
+  ReadOnlyCache* rocache_;
+  int block_id_;
+  int grid_blocks_;
+  int warps_per_block_;
+  SharedMemory shared_;
+};
+
+class Engine {
+ public:
+  explicit Engine(DeviceSpec spec = {}, CostModel cost = {});
+
+  [[nodiscard]] const DeviceSpec& spec() const { return spec_; }
+  [[nodiscard]] const CostModel& cost_model() const { return cost_; }
+
+  /// Enables/disables the read-only cache model (paper Fig. 17 toggle).
+  void set_readonly_cache_enabled(bool enabled);
+  [[nodiscard]] bool readonly_cache_enabled() const {
+    return rocache_enabled_;
+  }
+
+  /// Launches a kernel and returns its measured stats (time filled in by
+  /// the cost model, occupancy from the launch shape and the shared-memory
+  /// high-water mark). Also accumulates into the profile registry.
+  KernelStats launch(const LaunchConfig& config,
+                     const std::function<void(BlockCtx&)>& kernel);
+
+  /// Models a PCIe transfer and accounts it under `label` in the profile.
+  double transfer(const std::string& label, std::uint64_t bytes);
+
+  [[nodiscard]] ProfileRegistry& profile() { return profile_; }
+  [[nodiscard]] const ProfileRegistry& profile() const { return profile_; }
+
+  /// Clears the per-SM read-only caches (cold-start boundary).
+  void reset_caches();
+
+ private:
+  DeviceSpec spec_;
+  CostModel cost_;
+  bool rocache_enabled_ = true;
+  std::vector<ReadOnlyCache> sm_caches_;
+  ProfileRegistry profile_;
+};
+
+}  // namespace repro::simt

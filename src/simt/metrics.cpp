@@ -1,0 +1,48 @@
+#include "simt/metrics.hpp"
+
+#include <algorithm>
+
+namespace repro::simt {
+
+void KernelStats::merge(const KernelStats& other) {
+  vec_ops += other.vec_ops;
+  active_lane_sum += other.active_lane_sum;
+  ld_requests += other.ld_requests;
+  ld_bytes_requested += other.ld_bytes_requested;
+  ld_transactions += other.ld_transactions;
+  st_requests += other.st_requests;
+  st_bytes_requested += other.st_bytes_requested;
+  st_transactions += other.st_transactions;
+  rocache_hits += other.rocache_hits;
+  rocache_misses += other.rocache_misses;
+  shared_ops += other.shared_ops;
+  shared_conflict_passes += other.shared_conflict_passes;
+  atomic_ops += other.atomic_ops;
+  atomic_serial_passes += other.atomic_serial_passes;
+  num_blocks += other.num_blocks;
+  block_threads = other.block_threads;
+  regs_per_thread = other.regs_per_thread;
+  shared_bytes = std::max(shared_bytes, other.shared_bytes);
+  // Weight occupancy by block count so repeated launches average sensibly.
+  if (num_blocks > 0) {
+    const double prev_blocks =
+        static_cast<double>(num_blocks - other.num_blocks);
+    occupancy = (occupancy * prev_blocks +
+                 other.occupancy * static_cast<double>(other.num_blocks)) /
+                static_cast<double>(num_blocks);
+  }
+  time_ms += other.time_ms;
+}
+
+void ProfileRegistry::add(const KernelStats& stats) {
+  auto [it, inserted] = kernels_.try_emplace(stats.name, stats);
+  if (!inserted) it->second.merge(stats);
+}
+
+double ProfileRegistry::total_time_ms() const {
+  double total = 0.0;
+  for (const auto& [name, stats] : kernels_) total += stats.time_ms;
+  return total;
+}
+
+}  // namespace repro::simt

@@ -1,0 +1,25 @@
+#include "simt/rocache.hpp"
+
+#include <bit>
+
+namespace repro::simt {
+
+ReadOnlyCache::ReadOnlyCache(std::size_t capacity_bytes,
+                             std::size_t line_bytes)
+    : line_shift_(static_cast<std::size_t>(
+          std::countr_zero(line_bytes == 0 ? 128 : line_bytes))),
+      tags_(std::max<std::size_t>(1, capacity_bytes / (line_bytes ? line_bytes
+                                                                  : 128)),
+            0) {}
+
+bool ReadOnlyCache::access(std::uintptr_t address) {
+  const std::uintptr_t line = address >> line_shift_;
+  const std::size_t slot = static_cast<std::size_t>(line) % tags_.size();
+  if (tags_[slot] == line + 1) return true;
+  tags_[slot] = line + 1;  // +1 so line 0 is distinguishable from empty
+  return false;
+}
+
+void ReadOnlyCache::clear() { tags_.assign(tags_.size(), 0); }
+
+}  // namespace repro::simt

@@ -1,0 +1,53 @@
+// Per-block shared-memory arena.
+//
+// Kernels allocate their shared buffers from this arena at block start; the
+// high-water mark feeds the occupancy calculation, which is how the paper's
+// shared-memory/occupancy trade-offs (bins in Fig. 14, PSSM vs BLOSUM62 in
+// Fig. 15) become measurable here.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace repro::simt {
+
+class SharedMemory {
+ public:
+  explicit SharedMemory(std::size_t capacity_bytes)
+      : storage_(capacity_bytes) {}
+
+  /// Allocates n elements of T, aligned; value-initialized.
+  /// Throws std::bad_alloc-like logic_error when the block's shared budget
+  /// is exceeded (a real kernel would fail to launch).
+  template <class T>
+  std::span<T> alloc(std::size_t n) {
+    const std::size_t align = alignof(T);
+    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    if (offset + bytes > storage_.size())
+      throw std::length_error("SharedMemory: block shared-memory budget "
+                              "exceeded");
+    used_ = offset + bytes;
+    high_water_ = std::max(high_water_, used_);
+    T* base = reinterpret_cast<T*>(storage_.data() + offset);
+    for (std::size_t i = 0; i < n; ++i) base[i] = T{};
+    return {base, n};
+  }
+
+  [[nodiscard]] std::size_t used() const { return used_; }
+  [[nodiscard]] std::size_t high_water() const { return high_water_; }
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+
+  /// Releases all allocations (block end); high-water survives.
+  void reset() { used_ = 0; }
+
+ private:
+  std::vector<std::uint8_t> storage_;
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace repro::simt

@@ -1,0 +1,389 @@
+// Warp-synchronous execution with measured divergence and coalescing.
+//
+// Kernels are written against this API in the explicitly-masked SIMT style:
+// per-lane work goes through vec()/gather()/scatter()/atomic ops, control
+// flow through if_then()/loop_while(). The engine executes the 32 lanes of
+// a warp in lockstep (serially, with an active mask) and records, for every
+// warp-level step, how many lanes were active and how many 128-byte memory
+// transactions the lane addresses required. Divergence overhead and global
+// load efficiency in the paper's Fig. 19 are computed from these traces —
+// measured from the same algorithmic behaviour as on real hardware, not
+// assumed.
+#pragma once
+
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <span>
+#include <utility>
+
+#include "simt/metrics.hpp"
+#include "simt/rocache.hpp"
+
+namespace repro::simt {
+
+template <class T>
+using LaneArray = std::array<T, kWarpSize>;
+
+using Mask = std::uint32_t;
+inline constexpr Mask kFullMask = 0xffffffffu;
+
+enum class MemKind { kGlobal, kReadOnly };
+
+class WarpExec {
+ public:
+  WarpExec(KernelStats& stats, ReadOnlyCache* rocache, int block_id,
+           int warp_in_block, int warps_per_block, int grid_blocks)
+      : stats_(&stats),
+        rocache_(rocache),
+        block_id_(block_id),
+        warp_in_block_(warp_in_block),
+        warps_per_block_(warps_per_block),
+        grid_blocks_(grid_blocks) {}
+
+  // --- identity -----------------------------------------------------------
+  [[nodiscard]] int block_id() const { return block_id_; }
+  [[nodiscard]] int warp_in_block() const { return warp_in_block_; }
+  [[nodiscard]] int warps_per_block() const { return warps_per_block_; }
+  [[nodiscard]] int grid_blocks() const { return grid_blocks_; }
+  [[nodiscard]] int global_warp_id() const {
+    return block_id_ * warps_per_block_ + warp_in_block_;
+  }
+  [[nodiscard]] int num_warps_total() const {
+    return grid_blocks_ * warps_per_block_;
+  }
+  [[nodiscard]] int thread_id(int lane) const {
+    return (block_id_ * warps_per_block_ + warp_in_block_) * kWarpSize + lane;
+  }
+
+  [[nodiscard]] Mask active_mask() const { return active_; }
+  [[nodiscard]] int active_lanes() const { return std::popcount(active_); }
+  [[nodiscard]] bool lane_active(int lane) const {
+    return (active_ >> lane) & 1u;
+  }
+
+  // --- instruction issue ---------------------------------------------------
+  /// One warp-level ALU step: f(lane) runs for every active lane.
+  template <class F>
+  void vec(F&& f) {
+    note_op();
+    for_active(std::forward<F>(f));
+  }
+
+  /// Warp vote: evaluates pred(lane) on active lanes.
+  template <class P>
+  [[nodiscard]] Mask ballot(P&& pred) {
+    note_op();
+    Mask m = 0;
+    for_active([&](int lane) {
+      if (pred(lane)) m |= 1u << lane;
+    });
+    return m;
+  }
+
+  template <class P>
+  [[nodiscard]] bool any(P&& pred) {
+    return ballot(std::forward<P>(pred)) != 0;
+  }
+
+  /// Structured branch: lanes where pred holds execute then_fn under a
+  /// narrowed mask. Divergence shows up as reduced active-lane counts on
+  /// every op inside.
+  template <class P, class F>
+  void if_then(P&& pred, F&& then_fn) {
+    const Mask taken = ballot(std::forward<P>(pred));
+    if (taken) {
+      const Mask saved = active_;
+      active_ = taken;
+      then_fn();
+      active_ = saved;
+    }
+  }
+
+  /// Two-sided branch: both paths execute serially when both are non-empty
+  /// (the SIMT serialization of Fig. 4).
+  template <class P, class F, class G>
+  void if_then_else(P&& pred, F&& then_fn, G&& else_fn) {
+    const Mask taken = ballot(std::forward<P>(pred));
+    const Mask saved = active_;
+    if (taken) {
+      active_ = taken;
+      then_fn();
+      active_ = saved;
+    }
+    const Mask not_taken = saved & ~taken;
+    if (not_taken) {
+      active_ = not_taken;
+      else_fn();
+      active_ = saved;
+    }
+  }
+
+  /// SIMT loop: iterates while any active lane's cond holds; lanes that
+  /// finish early sit idle (and are charged as divergence) until the last
+  /// lane exits.
+  template <class C, class B>
+  void loop_while(C&& cond, B&& body) {
+    const Mask saved = active_;
+    for (;;) {
+      const Mask live = ballot(cond);
+      if (!live) break;
+      active_ = live;
+      body();
+    }
+    active_ = saved;
+  }
+
+  // --- global memory -------------------------------------------------------
+  /// Gathers base[idx[lane]] for active lanes; counts one load request and
+  /// the distinct 128-byte segments it touches.
+  template <class T, class I>
+  void gather(const T* base, const LaneArray<I>& idx, LaneArray<T>& out,
+              MemKind kind = MemKind::kGlobal) {
+    note_op();
+    ++stats_->ld_requests;
+    begin_segments();
+    for_active([&](int lane) {
+      const T* p = base + idx[static_cast<std::size_t>(lane)];
+      out[static_cast<std::size_t>(lane)] = *p;
+      stats_->ld_bytes_requested += sizeof(T);
+      add_segment(reinterpret_cast<std::uintptr_t>(p));
+    });
+    commit_load_segments(kind);
+  }
+
+  /// Scatters vals to base[idx[lane]]. Lane order is the commit order, so
+  /// colliding lanes resolve deterministically (highest lane wins, matching
+  /// one legal CUDA outcome).
+  template <class T, class I>
+  void scatter(T* base, const LaneArray<I>& idx, const LaneArray<T>& vals) {
+    note_op();
+    ++stats_->st_requests;
+    begin_segments();
+    for_active([&](int lane) {
+      T* p = base + idx[static_cast<std::size_t>(lane)];
+      *p = vals[static_cast<std::size_t>(lane)];
+      stats_->st_bytes_requested += sizeof(T);
+      add_segment(reinterpret_cast<std::uintptr_t>(p));
+    });
+    stats_->st_transactions += static_cast<std::uint64_t>(num_segments_);
+  }
+
+  /// Atomic fetch-add on global memory. Colliding addresses within the warp
+  /// serialize: lanes commit in lane order and the extra passes are charged.
+  template <class T, class I>
+  void atomic_add_global(T* base, const LaneArray<I>& idx,
+                         const LaneArray<T>& vals, LaneArray<T>& old) {
+    note_op();
+    ++stats_->atomic_ops;
+    begin_segments();
+    std::uint64_t max_collisions = do_atomic_add(base, idx, vals, old, true);
+    stats_->st_transactions += static_cast<std::uint64_t>(num_segments_);
+    if (max_collisions > 1)
+      stats_->atomic_serial_passes += max_collisions - 1;
+  }
+
+  // --- shared memory -------------------------------------------------------
+  /// Shared-memory gather with bank-conflict accounting (32 banks of 4 B).
+  template <class T, class I>
+  void sh_gather(std::span<const T> region, const LaneArray<I>& idx,
+                 LaneArray<T>& out) {
+    note_op();
+    ++stats_->shared_ops;
+    charge_bank_conflicts<const T, I>(region.data(), idx);
+    for_active([&](int lane) {
+      out[static_cast<std::size_t>(lane)] =
+          region[static_cast<std::size_t>(
+              idx[static_cast<std::size_t>(lane)])];
+    });
+  }
+
+  template <class T, class I>
+  void sh_scatter(std::span<T> region, const LaneArray<I>& idx,
+                  const LaneArray<T>& vals) {
+    note_op();
+    ++stats_->shared_ops;
+    charge_bank_conflicts<T, I>(region.data(), idx);
+    for_active([&](int lane) {
+      region[static_cast<std::size_t>(idx[static_cast<std::size_t>(lane)])] =
+          vals[static_cast<std::size_t>(lane)];
+    });
+  }
+
+  /// Atomic fetch-add on shared memory (paper Alg. 2's top[] counters):
+  /// cheaper than global atomics but still serializes on collisions.
+  template <class T, class I>
+  void atomic_add_shared(std::span<T> region, const LaneArray<I>& idx,
+                         const LaneArray<T>& vals, LaneArray<T>& old) {
+    note_op();
+    ++stats_->shared_ops;
+    ++stats_->atomic_ops;
+    std::uint64_t max_collisions =
+        do_atomic_add(region.data(), idx, vals, old, false);
+    if (max_collisions > 1)
+      stats_->atomic_serial_passes += max_collisions - 1;
+  }
+
+  // --- warp collectives ----------------------------------------------------
+  /// Inclusive plus-scan within fixed-width windows (CUB-style; the paper's
+  /// window-based extension uses width 8). Charged log2(width) steps.
+  template <class T>
+  void window_inclusive_scan(LaneArray<T>& vals, int width) {
+    for (int delta = 1; delta < width; delta <<= 1) {
+      note_op();
+      LaneArray<T> prev = vals;
+      for_active([&](int lane) {
+        if (lane % width >= delta)
+          vals[static_cast<std::size_t>(lane)] +=
+              prev[static_cast<std::size_t>(lane - delta)];
+      });
+    }
+  }
+
+  /// Inclusive max-scan within fixed-width windows: lane i of a window ends
+  /// with max(vals[first..i]). The window-based extension uses this to get
+  /// the running best score per position (paper Fig. 8's "highest score").
+  template <class T>
+  void window_inclusive_max_scan(LaneArray<T>& vals, int width) {
+    for (int delta = 1; delta < width; delta <<= 1) {
+      note_op();
+      LaneArray<T> prev = vals;
+      for_active([&](int lane) {
+        if (lane % width >= delta)
+          vals[static_cast<std::size_t>(lane)] =
+              std::max(vals[static_cast<std::size_t>(lane)],
+                       prev[static_cast<std::size_t>(lane - delta)]);
+      });
+    }
+  }
+
+  /// Maximum over each width-lane window, broadcast to the window's lanes.
+  template <class T>
+  void window_reduce_max(LaneArray<T>& vals, int width) {
+    for (int delta = width / 2; delta >= 1; delta >>= 1) {
+      note_op();
+      LaneArray<T> prev = vals;
+      for_active([&](int lane) {
+        const int peer = (lane % width < width - delta) ? lane + delta : lane;
+        vals[static_cast<std::size_t>(lane)] =
+            std::max(vals[static_cast<std::size_t>(lane)],
+                     prev[static_cast<std::size_t>(peer)]);
+      });
+    }
+    // Broadcast window-leader value (lane 0 of window holds the max after
+    // the butterfly? A final pass makes every lane hold the window max).
+    note_op();
+    LaneArray<T> prev = vals;
+    for_active([&](int lane) {
+      vals[static_cast<std::size_t>(lane)] =
+          prev[static_cast<std::size_t>(lane - lane % width)];
+    });
+  }
+
+  /// Shuffle-up by delta within windows.
+  template <class T>
+  void shfl_up(LaneArray<T>& vals, int delta, int width = kWarpSize) {
+    note_op();
+    LaneArray<T> prev = vals;
+    for_active([&](int lane) {
+      if (lane % width >= delta)
+        vals[static_cast<std::size_t>(lane)] =
+            prev[static_cast<std::size_t>(lane - delta)];
+    });
+  }
+
+ private:
+  template <class F>
+  void for_active(F&& f) {
+    Mask m = active_;
+    while (m) {
+      const int lane = std::countr_zero(m);
+      f(lane);
+      m &= m - 1;
+    }
+  }
+
+  void note_op() {
+    ++stats_->vec_ops;
+    stats_->active_lane_sum += static_cast<std::uint64_t>(active_lanes());
+  }
+
+  void begin_segments() { num_segments_ = 0; }
+
+  void add_segment(std::uintptr_t address) {
+    // 32-byte sectors: the granularity Kepler's L2 serves and the one
+    // nvprof's gld_efficiency counts (the paper's Fig. 19a metric).
+    const std::uintptr_t seg = address >> 5;
+    for (int i = 0; i < num_segments_; ++i)
+      if (segments_[static_cast<std::size_t>(i)] == seg) return;
+    segments_[static_cast<std::size_t>(num_segments_++)] = seg;
+  }
+
+  void commit_load_segments(MemKind kind) {
+    for (int i = 0; i < num_segments_; ++i) {
+      if (kind == MemKind::kReadOnly && rocache_ != nullptr) {
+        if (rocache_->access(segments_[static_cast<std::size_t>(i)] << 5)) {
+          ++stats_->rocache_hits;
+          continue;  // served by the read-only cache: no global transaction
+        }
+        ++stats_->rocache_misses;
+      }
+      ++stats_->ld_transactions;
+    }
+  }
+
+  template <class T, class I>
+  std::uint64_t do_atomic_add(T* base, const LaneArray<I>& idx,
+                              const LaneArray<T>& vals, LaneArray<T>& old,
+                              bool track_segments) {
+    // Commit in lane order; count the worst per-address collision depth.
+    std::array<T*, kWarpSize> addrs{};
+    int n = 0;
+    for_active([&](int lane) {
+      T* p = base + idx[static_cast<std::size_t>(lane)];
+      old[static_cast<std::size_t>(lane)] = *p;
+      *p += vals[static_cast<std::size_t>(lane)];
+      addrs[static_cast<std::size_t>(n++)] = p;
+      if (track_segments) {
+        stats_->st_bytes_requested += sizeof(T);
+        add_segment(reinterpret_cast<std::uintptr_t>(p));
+      }
+    });
+    std::uint64_t worst = 0;
+    for (int i = 0; i < n; ++i) {
+      std::uint64_t count = 0;
+      for (int j = 0; j < n; ++j)
+        if (addrs[static_cast<std::size_t>(j)] ==
+            addrs[static_cast<std::size_t>(i)])
+          ++count;
+      worst = std::max(worst, count);
+    }
+    return worst;
+  }
+
+  template <class T, class I>
+  void charge_bank_conflicts(T* base, const LaneArray<I>& idx) {
+    std::array<std::uint8_t, kWarpSize> bank_load{};
+    std::uint8_t worst = 1;
+    for_active([&](int lane) {
+      const auto addr = reinterpret_cast<std::uintptr_t>(
+          base + idx[static_cast<std::size_t>(lane)]);
+      const auto bank = static_cast<std::size_t>((addr >> 2) & 31u);
+      worst = std::max(worst, ++bank_load[bank]);
+    });
+    if (worst > 1) stats_->shared_conflict_passes += worst - 1;
+  }
+
+  KernelStats* stats_;
+  ReadOnlyCache* rocache_;
+  int block_id_;
+  int warp_in_block_;
+  int warps_per_block_;
+  int grid_blocks_;
+  Mask active_ = kFullMask;
+
+  std::array<std::uintptr_t, kWarpSize> segments_{};
+  int num_segments_ = 0;
+};
+
+}  // namespace repro::simt

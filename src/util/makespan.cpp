@@ -1,0 +1,47 @@
+#include "util/makespan.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <queue>
+#include <vector>
+
+namespace repro::util {
+
+namespace {
+
+double schedule(std::span<const double> costs, std::size_t workers,
+                bool sort_desc) {
+  if (costs.empty() || workers == 0) return 0.0;
+  std::vector<double> order(costs.begin(), costs.end());
+  if (sort_desc) std::sort(order.begin(), order.end(), std::greater<>());
+  // Min-heap of worker finish times.
+  std::priority_queue<double, std::vector<double>, std::greater<>> finish;
+  for (std::size_t w = 0; w < workers; ++w) finish.push(0.0);
+  double makespan = 0.0;
+  for (const double c : order) {
+    const double start = finish.top();
+    finish.pop();
+    const double end = start + c;
+    finish.push(end);
+    makespan = std::max(makespan, end);
+  }
+  return makespan;
+}
+
+}  // namespace
+
+double list_schedule_makespan(std::span<const double> costs,
+                              std::size_t workers) {
+  return schedule(costs, workers, /*sort_desc=*/false);
+}
+
+double lpt_schedule_makespan(std::span<const double> costs,
+                             std::size_t workers) {
+  return schedule(costs, workers, /*sort_desc=*/true);
+}
+
+double total_cost(std::span<const double> costs) {
+  return std::accumulate(costs.begin(), costs.end(), 0.0);
+}
+
+}  // namespace repro::util

@@ -1,0 +1,35 @@
+// Deterministic multi-worker makespan model.
+//
+// The paper's CPU-side scaling figures (Fig. 11, Fig. 13) were measured on a
+// quad-core CPU. This reproduction runs on a single core, so a T-thread
+// wall-clock measurement cannot show real scaling. Instead, the benches
+// measure each independent task's cost sequentially and compute the makespan
+// a T-worker pool would achieve. Two schedules are provided:
+//
+//  * list_schedule   — greedy online list scheduling in submission order;
+//                      this matches what ThreadPool::parallel_for_dynamic
+//                      actually does (each worker grabs the next task).
+//  * lpt_schedule    — Longest-Processing-Time-first; an upper-bound
+//                      "well-balanced" schedule used for sensitivity checks.
+//
+// DESIGN.md §1 documents this substitution.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace repro::util {
+
+/// Makespan (seconds) of greedy list scheduling of `costs` (in submission
+/// order) onto `workers` identical workers.
+[[nodiscard]] double list_schedule_makespan(std::span<const double> costs,
+                                            std::size_t workers);
+
+/// Makespan of Longest-Processing-Time-first scheduling.
+[[nodiscard]] double lpt_schedule_makespan(std::span<const double> costs,
+                                           std::size_t workers);
+
+/// Sum of all task costs (the single-worker makespan).
+[[nodiscard]] double total_cost(std::span<const double> costs);
+
+}  // namespace repro::util

@@ -1,0 +1,137 @@
+// Deterministic, seedable random number generation.
+//
+// All synthetic data in this repository (databases, queries, planted
+// homologies) is generated through this RNG so that every test and bench is
+// reproducible bit-for-bit across runs and machines.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+
+namespace repro::util {
+
+/// splitmix64: used to expand a user seed into xoshiro state.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+/// Satisfies UniformRandomBitGenerator so it can drive <random> if needed.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit constexpr Rng(std::uint64_t seed = 0x5eedULL) {
+    std::uint64_t sm = seed;
+    for (auto& s : state_) s = splitmix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  constexpr result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  constexpr std::uint64_t below(std::uint64_t bound) {
+    // Lemire's multiply-shift rejection method.
+    std::uint64_t x = (*this)();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        x = (*this)();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo + 1)));
+  }
+
+  /// Samples an index from a discrete distribution given cumulative weights
+  /// (cdf.back() is the total mass).
+  std::size_t sample_cdf(std::span<const double> cdf) {
+    const double u = uniform() * cdf.back();
+    std::size_t lo = 0, hi = cdf.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf[mid] <= u)
+        lo = mid + 1;
+      else
+        hi = mid;
+    }
+    return lo;
+  }
+
+  /// Marsaglia–Tsang gamma(shape, scale) sampler (shape >= 1 fast path; the
+  /// shape < 1 boost uses the standard u^(1/shape) trick).
+  double gamma(double shape, double scale);
+
+  /// Standard normal via Box–Muller (no cached spare; deterministic order).
+  double normal() ;
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::uint64_t state_[4]{};
+};
+
+inline double Rng::normal() {
+  double u1 = uniform();
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  return __builtin_sqrt(-2.0 * __builtin_log(u1)) *
+         __builtin_cos(6.283185307179586 * u2);
+}
+
+inline double Rng::gamma(double shape, double scale) {
+  if (shape < 1.0) {
+    const double u = uniform();
+    return gamma(shape + 1.0, scale) *
+           __builtin_pow(u <= 0 ? 1e-300 : u, 1.0 / shape);
+  }
+  const double d = shape - 1.0 / 3.0;
+  const double c = 1.0 / __builtin_sqrt(9.0 * d);
+  for (;;) {
+    double x = normal();
+    double v = 1.0 + c * x;
+    if (v <= 0) continue;
+    v = v * v * v;
+    const double u = uniform();
+    if (u < 1.0 - 0.0331 * x * x * x * x) return d * v * scale;
+    if (__builtin_log(u <= 0 ? 1e-300 : u) <
+        0.5 * x * x + d * (1.0 - v + __builtin_log(v)))
+      return d * v * scale;
+  }
+}
+
+}  // namespace repro::util

@@ -1,0 +1,60 @@
+// Small statistics helpers shared by the database generator, the SIMT
+// metrics, and the bench harnesses.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/// Streaming mean / variance / min / max accumulator (Welford).
+class Accumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge buckets. Used to validate the synthetic database length distribution.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  [[nodiscard]] std::span<const std::uint64_t> buckets() const {
+    return counts_;
+  }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  /// Bucket index with the largest count.
+  [[nodiscard]] std::size_t mode_bucket() const;
+  /// Render a terminal bar chart (one line per bucket).
+  [[nodiscard]] std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Percentile of a sample (copies and sorts; fine for bench-sized data).
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+}  // namespace repro::util

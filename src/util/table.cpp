@@ -1,0 +1,52 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace repro::util {
+
+Table::Table(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int precision) {
+  std::ostringstream out;
+  out << std::fixed << std::setprecision(precision) << v;
+  return out.str();
+}
+
+std::string Table::render() const {
+  std::size_t cols = 0;
+  for (const auto& row : rows_) cols = std::max(cols, row.size());
+  std::vector<std::size_t> width(cols, 0);
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  std::ostringstream out;
+  auto rule = [&] {
+    for (std::size_t c = 0; c < cols; ++c)
+      out << "+" << std::string(width[c] + 2, '-');
+    out << "+\n";
+  };
+  rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "|";
+    for (std::size_t c = 0; c < cols; ++c) {
+      const std::string& cell = c < rows_[r].size() ? rows_[r][c] : "";
+      out << " " << std::left << std::setw(static_cast<int>(width[c]))
+          << cell << " |";
+    }
+    out << "\n";
+    if (r == 0) rule();
+  }
+  rule();
+  return out.str();
+}
+
+}  // namespace repro::util

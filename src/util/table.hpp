@@ -1,0 +1,27 @@
+// Aligned ASCII table printer used by every bench binary to emit the rows a
+// paper figure reports, side by side with the paper's expectation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace repro::util {
+
+/// Collects rows of cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds a row. Missing cells render empty; extra cells widen the table.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace repro::util

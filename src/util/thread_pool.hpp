@@ -1,0 +1,60 @@
+// A small fixed-size thread pool used by the CPU-side BLASTP phases
+// (gapped extension and alignment-with-traceback) and the NCBI-style
+// multithreaded baseline.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace repro::util {
+
+/// Fixed-size pool of worker threads with a shared FIFO task queue.
+///
+/// The pool is deliberately simple: the workloads we schedule (per-sequence
+/// gapped extensions) are coarse enough that a single mutex-protected queue
+/// is never the bottleneck, and simplicity keeps the makespan model (see
+/// makespan.hpp) honest about what the real scheduler does.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueues a task; returns a future for its completion.
+  std::future<void> submit(std::function<void()> task);
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Work is distributed in contiguous chunks (static schedule).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+
+  /// Runs fn(i) with a dynamic (work-queue) schedule: each worker repeatedly
+  /// grabs the next index. This mirrors NCBI BLAST's per-sequence dispatch.
+  void parallel_for_dynamic(std::size_t n,
+                            const std::function<void(std::size_t)>& fn);
+
+  /// Blocks until every task submitted so far has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace repro::util

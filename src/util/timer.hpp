@@ -1,0 +1,65 @@
+// Monotonic wall-clock timers used by every phase of the search engines.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+
+namespace repro::util {
+
+/// Simple monotonic stopwatch. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  [[nodiscard]] double milliseconds() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (CLOCK_THREAD_CPUTIME_ID). Use this to
+/// cost a task that runs inside a thread pool: unlike wall-clock, it is
+/// not inflated by time-slicing against the pool's other workers (which
+/// matters on machines with fewer cores than workers).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  void reset() { start_ = now(); }
+
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+  double start_;
+};
+
+/// Accumulates elapsed time into a double on destruction; used to attribute
+/// wall-clock to named phases without sprinkling Timer bookkeeping around.
+class ScopedAccumulator {
+ public:
+  explicit ScopedAccumulator(double& sink) : sink_(sink) {}
+  ScopedAccumulator(const ScopedAccumulator&) = delete;
+  ScopedAccumulator& operator=(const ScopedAccumulator&) = delete;
+  ~ScopedAccumulator() { sink_ += timer_.seconds(); }
+
+ private:
+  double& sink_;
+  Timer timer_;
+};
+
+}  // namespace repro::util

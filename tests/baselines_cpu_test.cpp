@@ -1,0 +1,149 @@
+// Tests for the CPU baselines: FSA-BLAST finds planted homologs, the
+// multithreaded NCBI-style engine produces identical output, timings and
+// counters behave.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hpp"
+#include "bio/generator.hpp"
+#include "blast/results.hpp"
+
+namespace repro {
+namespace {
+
+struct Workload {
+  std::vector<std::uint8_t> query;
+  bio::SequenceDatabase db;
+};
+
+Workload small_workload(std::size_t num_seqs = 150,
+                        double homolog_fraction = 0.1,
+                        std::uint64_t seed = 7) {
+  Workload w;
+  w.query = bio::make_benchmark_query(127).residues;
+  auto profile = bio::DatabaseProfile::swissprot_like(num_seqs);
+  profile.homolog_fraction = homolog_fraction;
+  bio::DatabaseGenerator gen(profile, seed);
+  w.db = gen.generate(w.query);
+  return w;
+}
+
+TEST(FsaBlast, FindsPlantedHomologs) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(w.query, w.db, params);
+  ASSERT_FALSE(result.alignments.empty());
+  // Top hits should be planted homologs with tiny e-values.
+  std::size_t planted_in_top = 0;
+  const std::size_t top_n = std::min<std::size_t>(5, result.alignments.size());
+  for (std::size_t i = 0; i < top_n; ++i) {
+    const auto& a = result.alignments[i];
+    EXPECT_LT(a.evalue, 1e-3);
+    if (w.db.description(a.seq) == "planted_homolog") ++planted_in_top;
+  }
+  EXPECT_EQ(planted_in_top, top_n);
+}
+
+TEST(FsaBlast, RankedByScoreDescending) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(w.query, w.db, params);
+  for (std::size_t i = 1; i < result.alignments.size(); ++i)
+    EXPECT_GE(result.alignments[i - 1].score, result.alignments[i].score);
+}
+
+TEST(FsaBlast, CountersAreConsistent) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(w.query, w.db, params);
+  EXPECT_GT(result.counters.words_scanned, 0u);
+  EXPECT_GT(result.counters.hits_detected, 0u);
+  EXPECT_GE(result.counters.hits_detected, result.counters.hits_after_filter);
+  EXPECT_GT(result.counters.gapped_extensions, 0u);
+  EXPECT_GE(result.counters.gapped_extensions, result.counters.tracebacks);
+  EXPECT_GE(result.alignments.size(), 1u);
+}
+
+TEST(FsaBlast, FilterSurvivalRatioInPaperRange) {
+  // Paper §3.3: "only 5% to 11% of the hits from the hit-detection phase
+  // are passed to ungapped extension". Two-hit + coverage filtering on our
+  // synthetic workload should land in the same neighborhood (generously
+  // bracketed: 1–20%).
+  const auto w = small_workload(300, 0.02, 21);
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(w.query, w.db, params);
+  EXPECT_GT(result.counters.filter_survival_ratio(), 0.01);
+  EXPECT_LT(result.counters.filter_survival_ratio(), 0.20);
+}
+
+TEST(FsaBlast, DeterministicAcrossRuns) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto a = baselines::fsa_blast_search(w.query, w.db, params);
+  const auto b = baselines::fsa_blast_search(w.query, w.db, params);
+  EXPECT_EQ(a.alignments, b.alignments);
+}
+
+TEST(FsaBlast, EmptyDatabaseYieldsNothing) {
+  const auto query = bio::make_benchmark_query(127).residues;
+  bio::SequenceDatabase db;
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(query, db, params);
+  EXPECT_TRUE(result.alignments.empty());
+}
+
+TEST(FsaBlast, MaxEvalueFiltersReporting) {
+  const auto w = small_workload();
+  blast::SearchParams loose;
+  loose.max_evalue = 10.0;
+  blast::SearchParams strict;
+  strict.max_evalue = 1e-6;
+  const auto many = baselines::fsa_blast_search(w.query, w.db, loose);
+  const auto few = baselines::fsa_blast_search(w.query, w.db, strict);
+  EXPECT_GE(many.alignments.size(), few.alignments.size());
+  for (const auto& a : few.alignments) EXPECT_LE(a.evalue, 1e-6);
+}
+
+class NcbiThreadSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NcbiThreadSweep, OutputIdenticalToFsaBlast) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto reference = baselines::fsa_blast_search(w.query, w.db, params);
+  const auto mt =
+      baselines::ncbi_mt_search(w.query, w.db, params, GetParam());
+  EXPECT_EQ(reference.alignments, mt.alignments);
+  EXPECT_EQ(reference.counters.hits_detected, mt.counters.hits_detected);
+  EXPECT_EQ(reference.counters.ungapped_extensions,
+            mt.counters.ungapped_extensions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, NcbiThreadSweep,
+                         ::testing::Values(1, 2, 3, 4, 8));
+
+TEST(NcbiMt, MakespanTimingsShrinkWithThreads) {
+  // Timing-based: a large-ish workload keeps per-chunk CPU-time
+  // measurements well above scheduler noise, and the bound is generous
+  // (ideal is 0.25 at four workers).
+  const auto w = small_workload(1200, 0.03, 13);
+  blast::SearchParams params;
+  const auto t1 = baselines::ncbi_mt_search(w.query, w.db, params, 1);
+  const auto t4 = baselines::ncbi_mt_search(w.query, w.db, params, 4);
+  EXPECT_LT(t4.timings.critical(), t1.timings.critical() * 0.8);
+  EXPECT_LE(t4.timings.gapped_extension,
+            t1.timings.gapped_extension * 1.05 + 1e-9);
+}
+
+TEST(FormatAlignment, RendersBlocks) {
+  const auto w = small_workload();
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(w.query, w.db, params);
+  ASSERT_FALSE(result.alignments.empty());
+  const std::string text =
+      blast::format_alignment(w.query, w.db, result.alignments[0]);
+  EXPECT_NE(text.find("Score ="), std::string::npos);
+  EXPECT_NE(text.find("Query "), std::string::npos);
+  EXPECT_NE(text.find("Sbjct "), std::string::npos);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,247 @@
+// Tests for ungapped x-drop extension and the two-hit trigger semantics.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "bio/generator.hpp"
+#include "bio/pssm.hpp"
+#include "blast/ungapped.hpp"
+#include "blast/wordlookup.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+using blast::SearchParams;
+using blast::UngappedExtension;
+
+int segment_score(const bio::Pssm& pssm,
+                  std::span<const std::uint8_t> subject,
+                  const UngappedExtension& ext) {
+  int score = 0;
+  for (std::uint32_t k = 0; k <= ext.q_end - ext.q_start; ++k)
+    score += pssm.score(ext.q_start + k, subject[ext.s_start + k]);
+  return score;
+}
+
+TEST(UngappedExtension, ScoreEqualsSegmentSum) {
+  util::Rng rng(31);
+  const auto query = bio::make_benchmark_query(200).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto subject = bio::random_protein(150 + rng.below(200), rng);
+    const auto qpos = static_cast<std::uint32_t>(rng.below(query.size() - 3));
+    const auto spos =
+        static_cast<std::uint32_t>(rng.below(subject.size() - 3));
+    const auto ext =
+        blast::extend_ungapped(pssm, subject, 1, qpos, spos, params);
+    EXPECT_EQ(ext.score, segment_score(pssm, subject, ext));
+  }
+}
+
+TEST(UngappedExtension, SegmentContainsSeedWordAndStaysOnDiagonal) {
+  util::Rng rng(37);
+  const auto query = bio::make_benchmark_query(300).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto subject = bio::random_protein(100 + rng.below(300), rng);
+    const auto qpos = static_cast<std::uint32_t>(rng.below(query.size() - 3));
+    const auto spos =
+        static_cast<std::uint32_t>(rng.below(subject.size() - 3));
+    const auto ext =
+        blast::extend_ungapped(pssm, subject, 0, qpos, spos, params);
+    EXPECT_LE(ext.q_start, qpos);
+    EXPECT_GE(ext.q_end, qpos + 2);
+    EXPECT_EQ(ext.q_end - ext.q_start, ext.s_end - ext.s_start);
+    EXPECT_EQ(ext.diagonal(),
+              static_cast<std::int32_t>(spos) - static_cast<std::int32_t>(qpos));
+  }
+}
+
+TEST(UngappedExtension, ScoreAtLeastWordScore) {
+  util::Rng rng(41);
+  const auto query = bio::make_benchmark_query(150).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto subject = bio::random_protein(120, rng);
+    const auto qpos = static_cast<std::uint32_t>(rng.below(query.size() - 3));
+    const auto spos =
+        static_cast<std::uint32_t>(rng.below(subject.size() - 3));
+    int word = 0;
+    for (std::uint32_t i = 0; i < 3; ++i)
+      word += pssm.score(qpos + i, subject[spos + i]);
+    const auto ext =
+        blast::extend_ungapped(pssm, subject, 0, qpos, spos, params);
+    EXPECT_GE(ext.score, word);
+  }
+}
+
+TEST(UngappedExtension, PerfectMatchExtendsToFullOverlap) {
+  // Subject == query: extension from any seed should cover (nearly) the
+  // whole sequence since the score never drops.
+  const auto query = bio::make_benchmark_query(100).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  const auto ext = blast::extend_ungapped(pssm, query, 0, 50, 50, params);
+  EXPECT_EQ(ext.q_start, 0u);
+  EXPECT_EQ(ext.q_end, 99u);
+}
+
+TEST(UngappedExtension, LargerXdropNeverLowersScore) {
+  util::Rng rng(43);
+  const auto query = bio::make_benchmark_query(250).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto subject = bio::random_protein(250, rng);
+    const auto qpos = static_cast<std::uint32_t>(rng.below(query.size() - 3));
+    const auto spos =
+        static_cast<std::uint32_t>(rng.below(subject.size() - 3));
+    SearchParams small;
+    small.ungapped_xdrop = 5;
+    SearchParams big;
+    big.ungapped_xdrop = 40;
+    EXPECT_LE(
+        blast::extend_ungapped(pssm, subject, 0, qpos, spos, small).score,
+        blast::extend_ungapped(pssm, subject, 0, qpos, spos, big).score);
+  }
+}
+
+TEST(UngappedExtension, WindowExampleFromPaper) {
+  // Paper Fig. 8: query ...ALGPLIYPFLVNDPAB..., subject
+  // ...LLGPLIYPFIVNDEGE...; seed at the IYP match. The extension should
+  // cover the conserved GPLIYPF..VND core.
+  const auto query = bio::encode_string("ALGPLIYPFLVNDPAX");
+  const auto subject = bio::encode_string("LLGPLIYPFIVNDEGE");
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  // IYP begins at position 5 in both sequences.
+  const auto ext = blast::extend_ungapped(pssm, subject, 0, 5, 5, params);
+  EXPECT_LE(ext.q_start, 2u);   // reaches back at least to the GPL
+  EXPECT_GE(ext.q_end, 12u);    // reaches forward through VND
+  EXPECT_GT(ext.score, 30);
+}
+
+// --- two-hit tracker ------------------------------------------------------
+
+TEST(TwoHitTracker, FirstHitNeverTriggers) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));
+}
+
+TEST(TwoHitTracker, SecondHitWithinWindowTriggers) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));
+  EXPECT_TRUE(tracker.feed(30, 40, 100, params));  // same diagonal, dist 20
+}
+
+TEST(TwoHitTracker, SecondHitBeyondWindowDoesNotTrigger) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;  // window 40
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));
+  EXPECT_FALSE(tracker.feed(60, 70, 100, params));  // dist 50 > 40
+  // But it refreshed lasthit, so a third nearby hit triggers.
+  EXPECT_TRUE(tracker.feed(80, 90, 100, params));
+}
+
+TEST(TwoHitTracker, DifferentDiagonalsIndependent) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));  // diag +10
+  EXPECT_FALSE(tracker.feed(10, 25, 100, params));  // diag +15: first there
+}
+
+TEST(TwoHitTracker, CoveredByExtensionSkips) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));
+  EXPECT_TRUE(tracker.feed(20, 30, 100, params));
+  blast::UngappedExtension ext;
+  ext.q_start = 5;
+  ext.s_start = 15;
+  ext.q_end = 50;
+  ext.s_end = 60;  // covers subject up to 60 on this diagonal
+  tracker.record_extension(20, 30, 100, ext);
+  EXPECT_FALSE(tracker.feed(35, 45, 100, params));  // 45 <= 60: covered
+  EXPECT_TRUE(tracker.feed(55, 65, 100, params));   // 65 > 60 and close
+}
+
+TEST(TwoHitTracker, ResetClearsState) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  tracker.reset();
+  EXPECT_FALSE(tracker.feed(10, 20, 100, params));
+  EXPECT_TRUE(tracker.feed(20, 30, 100, params));
+  tracker.reset();  // new subject sequence
+  EXPECT_FALSE(tracker.feed(20, 30, 100, params));
+}
+
+TEST(TwoHitTracker, OneHitModeTriggersImmediately) {
+  blast::TwoHitTracker tracker(1000);
+  SearchParams params;
+  params.one_hit = true;
+  tracker.reset();
+  EXPECT_TRUE(tracker.feed(10, 20, 100, params));
+}
+
+TEST(UngappedPhase, OneHitFindsAtLeastAsManyExtensions) {
+  const auto query = bio::make_benchmark_query(127).residues;
+  SearchParams two_hit;
+  SearchParams one_hit;
+  one_hit.one_hit = true;
+  blast::WordLookup lookup(query, bio::Blosum62::instance(), two_hit);
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  util::Rng rng(51);
+
+  std::uint64_t two = 0, one = 0;
+  blast::TwoHitTracker tracker(query.size() + 4096);
+  for (int i = 0; i < 20; ++i) {
+    const auto subject = bio::random_protein(300, rng);
+    std::vector<UngappedExtension> sink;
+    two += blast::run_ungapped_phase(lookup, pssm, subject, 0, two_hit,
+                                     tracker, sink)
+               .extensions_run;
+    one += blast::run_ungapped_phase(lookup, pssm, subject, 0, one_hit,
+                                     tracker, sink)
+               .extensions_run;
+  }
+  EXPECT_GE(one, two);
+  EXPECT_GT(one, 0u);
+}
+
+TEST(UngappedPhase, PlantedHomologSurvivesCutoff) {
+  // A database sequence embedding a strong query fragment must produce at
+  // least one extension above the default cutoff.
+  const auto query = bio::make_benchmark_query(200).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  SearchParams params;
+  blast::WordLookup lookup(query, bio::Blosum62::instance(), params);
+
+  util::Rng rng(61);
+  auto subject = bio::random_protein(100, rng);
+  // Plant query[50..130) lightly mutated at subject position 40.
+  auto fragment = bio::mutate_fragment(
+      std::span(query).subspan(50, 80), 0.10, 0.0, rng);
+  subject.insert(subject.begin() + 40, fragment.begin(), fragment.end());
+
+  blast::TwoHitTracker tracker(query.size() + subject.size() + 2);
+  std::vector<UngappedExtension> sink;
+  blast::run_ungapped_phase(lookup, pssm, subject, 0, params, tracker, sink);
+  ASSERT_FALSE(sink.empty());
+  const auto best = std::max_element(
+      sink.begin(), sink.end(),
+      [](const auto& a, const auto& b) { return a.score < b.score; });
+  EXPECT_GE(best->score, params.ungapped_cutoff);
+}
+
+}  // namespace
+}  // namespace repro

@@ -1,0 +1,276 @@
+// Integration tests for the cuBLASTP engine: the paper's correctness
+// anchor is that its output is IDENTICAL to FSA-BLAST's (§4.3), across all
+// three extension strategies, both scoring structures, read-only cache
+// on/off, and every bin count of Fig. 14.
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hpp"
+#include "bio/generator.hpp"
+#include "core/cublastp.hpp"
+#include "core/kernels.hpp"
+
+namespace repro {
+namespace {
+
+struct Workload {
+  std::vector<std::uint8_t> query;
+  bio::SequenceDatabase db;
+};
+
+Workload make_workload(std::size_t query_len, std::size_t num_seqs,
+                       std::uint64_t seed) {
+  Workload w;
+  w.query = bio::make_benchmark_query(query_len).residues;
+  auto profile = bio::DatabaseProfile::swissprot_like(num_seqs);
+  profile.homolog_fraction = 0.08;
+  bio::DatabaseGenerator gen(profile, seed);
+  w.db = gen.generate(w.query);
+  return w;
+}
+
+core::Config base_config() {
+  core::Config config;
+  config.db_blocks = 3;
+  config.detection_blocks = 2;  // keep the simulated grid small for tests
+  config.bin_capacity = 64;     // exercises the overflow-retry path too
+  return config;
+}
+
+class StrategySweep
+    : public ::testing::TestWithParam<core::ExtensionStrategy> {};
+
+TEST_P(StrategySweep, OutputIdenticalToFsaBlast) {
+  const auto w = make_workload(127, 60, 11);
+  auto config = base_config();
+  config.strategy = GetParam();
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.alignments, report.result.alignments);
+  ASSERT_FALSE(report.result.alignments.empty());
+}
+
+TEST_P(StrategySweep, MediumQueryIdenticalToFsaBlast) {
+  const auto w = make_workload(517, 40, 13);
+  auto config = base_config();
+  config.strategy = GetParam();
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.alignments, report.result.alignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategySweep,
+                         ::testing::Values(core::ExtensionStrategy::kDiagonal,
+                                           core::ExtensionStrategy::kHit,
+                                           core::ExtensionStrategy::kWindow));
+
+class BinSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BinSweep, OutputInvariantToBinCount) {
+  // Paper Fig. 14 varies bins/warp from 32 to 256; results must not change.
+  const auto w = make_workload(127, 50, 17);
+  auto config = base_config();
+  config.num_bins_per_warp = GetParam();
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.alignments, report.result.alignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinSweep, ::testing::Values(32, 64, 128, 256));
+
+class ScoringSweep : public ::testing::TestWithParam<core::ScoringMode> {};
+
+TEST_P(ScoringSweep, OutputInvariantToScoringStructure) {
+  const auto w = make_workload(300, 40, 19);
+  auto config = base_config();
+  config.scoring = GetParam();
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.alignments, report.result.alignments);
+}
+
+INSTANTIATE_TEST_SUITE_P(Scoring, ScoringSweep,
+                         ::testing::Values(core::ScoringMode::kAuto,
+                                           core::ScoringMode::kPssm,
+                                           core::ScoringMode::kBlosum));
+
+TEST(CuBlastp, ReadOnlyCacheTogglePreservesOutput) {
+  const auto w = make_workload(127, 40, 23);
+  auto with = base_config();
+  with.use_readonly_cache = true;
+  auto without = base_config();
+  without.use_readonly_cache = false;
+  const auto a = core::CuBlastp(with).search(w.query, w.db);
+  const auto b = core::CuBlastp(without).search(w.query, w.db);
+  EXPECT_EQ(a.result.alignments, b.result.alignments);
+  // And the cache must actually have been exercised / silent respectively.
+  EXPECT_GT(a.profile.at(core::kKernelDetection).rocache_hits, 0u);
+  EXPECT_EQ(b.profile.at(core::kKernelDetection).rocache_hits, 0u);
+}
+
+TEST(CuBlastp, BlockCountInvariance) {
+  const auto w = make_workload(127, 55, 29);
+  auto reference_config = base_config();
+  reference_config.db_blocks = 1;
+  const auto reference =
+      core::CuBlastp(reference_config).search(w.query, w.db);
+  for (const std::size_t blocks : {2u, 5u, 16u}) {
+    auto config = base_config();
+    config.db_blocks = blocks;
+    const auto report = core::CuBlastp(config).search(w.query, w.db);
+    EXPECT_EQ(reference.result.alignments, report.result.alignments)
+        << blocks << " blocks";
+  }
+}
+
+TEST(CuBlastp, WindowSizeInvariance) {
+  const auto w = make_workload(127, 40, 31);
+  blast::SearchParams params;
+  const auto reference = baselines::fsa_blast_search(w.query, w.db, params);
+  for (const int ws : {4, 8, 16}) {
+    auto config = base_config();
+    config.strategy = core::ExtensionStrategy::kWindow;
+    config.window_size = ws;
+    const auto report = core::CuBlastp(config).search(w.query, w.db);
+    EXPECT_EQ(reference.alignments, report.result.alignments)
+        << "window size " << ws;
+  }
+}
+
+TEST(CuBlastp, OverflowRetryProducesSameOutput) {
+  const auto w = make_workload(127, 40, 37);
+  auto tiny = base_config();
+  tiny.bin_capacity = 4;  // guaranteed overflow
+  auto roomy = base_config();
+  roomy.bin_capacity = 4096;
+  const auto a = core::CuBlastp(tiny).search(w.query, w.db);
+  const auto b = core::CuBlastp(roomy).search(w.query, w.db);
+  EXPECT_GT(a.bin_overflow_retries, 0u);
+  EXPECT_EQ(b.bin_overflow_retries, 0u);
+  EXPECT_EQ(a.result.alignments, b.result.alignments);
+}
+
+TEST(CuBlastp, CountersMatchFsaBaseline) {
+  const auto w = make_workload(127, 60, 41);
+  auto config = base_config();
+  config.strategy = core::ExtensionStrategy::kDiagonal;
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.counters.words_scanned,
+            report.result.counters.words_scanned);
+  EXPECT_EQ(reference.counters.hits_detected,
+            report.result.counters.hits_detected);
+  // Diagonal-based extension runs exactly the extensions the interleaved
+  // baseline triggers.
+  EXPECT_EQ(reference.counters.ungapped_extensions,
+            report.result.counters.ungapped_extensions);
+  EXPECT_EQ(reference.counters.gapped_extensions,
+            report.result.counters.gapped_extensions);
+  EXPECT_EQ(reference.counters.tracebacks, report.result.counters.tracebacks);
+}
+
+TEST(CuBlastp, FilterSurvivalRatioInPaperRange) {
+  // Paper §3.3: 5-11% of detected hits survive filtering. Measured on a
+  // workload with a realistic homology density (the make_workload helper
+  // plants 8% homologs, which inflates the ratio; use 2% here).
+  Workload w;
+  w.query = bio::make_benchmark_query(517).residues;
+  auto profile = bio::DatabaseProfile::swissprot_like(150);
+  bio::DatabaseGenerator gen(profile, 43);
+  w.db = gen.generate(w.query);
+  const auto report = core::CuBlastp(base_config()).search(w.query, w.db);
+  const double ratio = report.result.counters.filter_survival_ratio();
+  // Our synthetic residue model yields a somewhat higher ratio than the
+  // paper's real NCBI data (real proteins cluster hits inside extensions);
+  // the order of magnitude — a small minority of hits — is what matters.
+  EXPECT_GT(ratio, 0.01);
+  EXPECT_LT(ratio, 0.30);
+}
+
+TEST(CuBlastp, HitBasedRunsMoreExtensionsThanDiagonal) {
+  // The redundant computation of Algorithm 4 must be visible in the
+  // counters (it is the trade-off paper §3.4 discusses).
+  const auto w = make_workload(127, 60, 47);
+  auto diagonal = base_config();
+  diagonal.strategy = core::ExtensionStrategy::kDiagonal;
+  auto hit = base_config();
+  hit.strategy = core::ExtensionStrategy::kHit;
+  const auto a = core::CuBlastp(diagonal).search(w.query, w.db);
+  const auto b = core::CuBlastp(hit).search(w.query, w.db);
+  EXPECT_GE(b.result.counters.ungapped_extensions,
+            a.result.counters.ungapped_extensions);
+  EXPECT_EQ(a.result.alignments, b.result.alignments);
+}
+
+TEST(CuBlastp, ProfileContainsAllKernels) {
+  const auto w = make_workload(127, 40, 53);
+  const auto report = core::CuBlastp(base_config()).search(w.query, w.db);
+  for (const char* kernel :
+       {core::kKernelDetection, core::kKernelAssemble, core::kKernelScan,
+        core::kKernelSort, core::kKernelFilter, core::kKernelExtension}) {
+    ASSERT_TRUE(report.profile.has(kernel)) << kernel;
+    EXPECT_GT(report.profile.at(kernel).vec_ops, 0u) << kernel;
+    EXPECT_GT(report.profile.at(kernel).time_ms, 0.0) << kernel;
+  }
+}
+
+TEST(CuBlastp, FineGrainedKernelsAreMostlyCoalesced) {
+  // Fig. 19a: the fine-grained kernels achieve far better load efficiency
+  // than the coarse baselines; detection/sort/filter should be well over
+  // the paper's coarse-kernel 5-12%.
+  const auto w = make_workload(517, 60, 59);
+  const auto report = core::CuBlastp(base_config()).search(w.query, w.db);
+  EXPECT_GT(report.profile.at(core::kKernelSort).global_load_efficiency(),
+            0.35);  // paper Fig. 19a reports 46.2% for hit sorting
+  EXPECT_GT(report.profile.at(core::kKernelFilter).global_load_efficiency(),
+            0.4);
+  EXPECT_GT(
+      report.profile.at(core::kKernelDetection).global_load_efficiency(),
+      0.2);
+}
+
+TEST(CuBlastp, PipelineOverlapNeverWorseThanSerial) {
+  const auto w = make_workload(127, 60, 61);
+  const auto report = core::CuBlastp(base_config()).search(w.query, w.db);
+  EXPECT_LE(report.overlapped_total_seconds,
+            report.serial_total_seconds + 1e-9);
+  EXPECT_GT(report.overlapped_total_seconds, 0.0);
+}
+
+TEST(CuBlastp, RejectsOversizedSequences) {
+  auto config = base_config();
+  std::vector<std::uint8_t> long_query(40000, 0);
+  bio::SequenceDatabase db;
+  EXPECT_THROW((void)core::CuBlastp(config).search(long_query, db),
+               std::invalid_argument);
+}
+
+TEST(CuBlastp, RejectsNonPowerOfTwoBins) {
+  auto config = base_config();
+  config.num_bins_per_warp = 100;
+  EXPECT_THROW(core::CuBlastp{config}, std::invalid_argument);
+}
+
+TEST(CuBlastp, EmptyDatabase) {
+  const auto query = bio::make_benchmark_query(127).residues;
+  bio::SequenceDatabase db;
+  const auto report = core::CuBlastp(base_config()).search(query, db);
+  EXPECT_TRUE(report.result.alignments.empty());
+}
+
+TEST(CuBlastp, OneHitModeMatchesOneHitBaseline) {
+  const auto w = make_workload(127, 40, 67);
+  auto config = base_config();
+  config.params.one_hit = true;
+  const auto reference =
+      baselines::fsa_blast_search(w.query, w.db, config.params);
+  const auto report = core::CuBlastp(config).search(w.query, w.db);
+  EXPECT_EQ(reference.alignments, report.result.alignments);
+}
+
+}  // namespace
+}  // namespace repro

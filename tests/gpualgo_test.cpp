@@ -1,0 +1,169 @@
+// Tests for the GPU algorithm primitives: device prefix scan and the
+// segmented bitonic sort, validated against the standard library across
+// randomized sizes (TEST_P sweeps).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "gpualgo/scan.hpp"
+#include "gpualgo/segsort.hpp"
+#include "simt/device_buffer.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+class ScanSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ScanSweep, MatchesStdExclusiveScan) {
+  const std::size_t n = GetParam();
+  util::Rng rng(1000 + n);
+  std::vector<std::uint32_t> input(n);
+  for (auto& v : input) v = static_cast<std::uint32_t>(rng.below(100));
+
+  simt::Engine engine;
+  const auto got = gpualgo::exclusive_scan_device(engine, input);
+
+  std::vector<std::uint32_t> expected(n + 1, 0);
+  std::partial_sum(input.begin(), input.end(), expected.begin() + 1);
+  ASSERT_EQ(got.size(), expected.size());
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ScanSweep,
+                         ::testing::Values(0, 1, 2, 31, 32, 33, 127, 128,
+                                           129, 500, 1024, 4096, 10000,
+                                           16385));
+
+TEST(Scan, AllZeros) {
+  simt::Engine engine;
+  const std::vector<std::uint32_t> input(300, 0);
+  const auto got = gpualgo::exclusive_scan_device(engine, input);
+  for (const auto v : got) EXPECT_EQ(v, 0u);
+}
+
+TEST(Scan, CoalescedLoadsFromAlignedBuffer) {
+  // The tiled scan reads input contiguously: from a device-aligned buffer,
+  // load efficiency should be near-perfect (the pattern the assembling
+  // kernel relies on).
+  simt::Engine engine;
+  simt::DeviceVector<std::uint32_t> input(4096, 1);
+  (void)gpualgo::exclusive_scan_device(engine, input, "scan_eff");
+  const auto& stats = engine.profile().at("scan_eff");
+  EXPECT_GT(stats.global_load_efficiency(), 0.9);
+}
+
+TEST(Scan, MisalignedBufferHalvesEfficiency) {
+  // The mirror image of the aligned case: a buffer offset by one element
+  // straddles segment boundaries, exactly like forgetting cudaMalloc
+  // alignment on real hardware.
+  simt::Engine engine;
+  simt::DeviceVector<std::uint32_t> backing(4097, 1);
+  (void)gpualgo::exclusive_scan_device(
+      engine, std::span(backing).subspan(1), "scan_misaligned");
+  // At 32-byte sector granularity a 4-byte shift costs one extra sector
+  // per warp access: efficiency drops measurably below the aligned case.
+  const auto& stats = engine.profile().at("scan_misaligned");
+  EXPECT_LT(stats.global_load_efficiency(), 0.9);
+}
+
+struct SegsortCase {
+  std::size_t num_segments;
+  std::size_t max_segment;
+  std::uint64_t seed;
+};
+
+class SegsortSweep : public ::testing::TestWithParam<SegsortCase> {};
+
+TEST_P(SegsortSweep, EachSegmentSortedAscending) {
+  const auto param = GetParam();
+  util::Rng rng(param.seed);
+
+  // Build power-of-two padded segments, as the assembling kernel does.
+  std::vector<std::uint64_t> data;
+  std::vector<std::uint32_t> offsets{0};
+  std::vector<std::vector<std::uint64_t>> reference;
+  for (std::size_t s = 0; s < param.num_segments; ++s) {
+    const std::size_t n = rng.below(param.max_segment + 1);
+    std::vector<std::uint64_t> seg(n);
+    for (auto& v : seg) v = rng() >> 1;  // below the pad sentinel
+    reference.push_back(seg);
+    const std::uint32_t padded =
+        n == 0 ? 0 : gpualgo::next_pow2(static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < padded; ++i)
+      data.push_back(i < n ? seg[i] : gpualgo::kSortPad);
+    offsets.push_back(static_cast<std::uint32_t>(data.size()));
+  }
+
+  simt::Engine engine;
+  gpualgo::segmented_sort_u64(engine, data, offsets);
+
+  for (std::size_t s = 0; s < param.num_segments; ++s) {
+    auto expected = reference[s];
+    std::sort(expected.begin(), expected.end());
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      ASSERT_EQ(data[offsets[s] + i], expected[i])
+          << "segment " << s << " index " << i;
+    // Padding must have sorted to the tail.
+    for (std::size_t i = expected.size(); i + offsets[s] < offsets[s + 1];
+         ++i)
+      ASSERT_EQ(data[offsets[s] + i], gpualgo::kSortPad);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SegsortSweep,
+    ::testing::Values(SegsortCase{1, 1, 1}, SegsortCase{1, 4, 2},
+                      SegsortCase{1, 1000, 3}, SegsortCase{20, 64, 4},
+                      SegsortCase{100, 16, 5}, SegsortCase{5, 513, 6},
+                      SegsortCase{64, 0, 7}, SegsortCase{3, 2048, 8}));
+
+TEST(Segsort, RejectsNonPowerOfTwoSegment) {
+  std::vector<std::uint64_t> data(6, 1);
+  const std::vector<std::uint32_t> offsets = {0, 6};
+  simt::Engine engine;
+  EXPECT_THROW(gpualgo::segmented_sort_u64(engine, data, offsets),
+               std::invalid_argument);
+}
+
+TEST(Segsort, AlreadySortedStaysSorted) {
+  std::vector<std::uint64_t> data(256);
+  std::iota(data.begin(), data.end(), 0);
+  const std::vector<std::uint32_t> offsets = {0, 256};
+  simt::Engine engine;
+  gpualgo::segmented_sort_u64(engine, data, offsets);
+  EXPECT_TRUE(std::is_sorted(data.begin(), data.end()));
+}
+
+TEST(Segsort, StressManyRandomSegments) {
+  util::Rng rng(99);
+  std::vector<std::uint64_t> data;
+  std::vector<std::uint32_t> offsets{0};
+  for (int s = 0; s < 300; ++s) {
+    const std::size_t n = rng.below(128);
+    const std::uint32_t padded =
+        n == 0 ? 0 : gpualgo::next_pow2(static_cast<std::uint32_t>(n));
+    for (std::size_t i = 0; i < padded; ++i)
+      data.push_back(i < n ? (rng() >> 1) : gpualgo::kSortPad);
+    offsets.push_back(static_cast<std::uint32_t>(data.size()));
+  }
+  simt::Engine engine;
+  gpualgo::segmented_sort_u64(engine, data, offsets);
+  for (std::size_t s = 0; s + 1 < offsets.size(); ++s)
+    EXPECT_TRUE(std::is_sorted(data.begin() + offsets[s],
+                               data.begin() + offsets[s + 1]));
+}
+
+TEST(NextPow2, Values) {
+  EXPECT_EQ(gpualgo::next_pow2(0), 1u);
+  EXPECT_EQ(gpualgo::next_pow2(1), 1u);
+  EXPECT_EQ(gpualgo::next_pow2(2), 2u);
+  EXPECT_EQ(gpualgo::next_pow2(3), 4u);
+  EXPECT_EQ(gpualgo::next_pow2(1024), 1024u);
+  EXPECT_EQ(gpualgo::next_pow2(1025), 2048u);
+}
+
+}  // namespace
+}  // namespace repro

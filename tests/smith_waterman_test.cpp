@@ -1,0 +1,141 @@
+// Tests for the Smith-Waterman reference and its relationship to the BLAST
+// heuristic (paper §2.1: BLAST approximates Smith-Waterman with only a
+// slight loss in sensitivity).
+#include <gtest/gtest.h>
+
+#include "baselines/cpu.hpp"
+#include "bio/generator.hpp"
+#include "bio/pssm.hpp"
+#include "blast/smith_waterman.hpp"
+#include "util/rng.hpp"
+
+namespace repro {
+namespace {
+
+int score_from_ops(const bio::Pssm& pssm,
+                   std::span<const std::uint8_t> subject,
+                   const blast::Alignment& a,
+                   const blast::SearchParams& params) {
+  int score = 0;
+  std::uint32_t qi = a.q_start, si = a.s_start;
+  char prev = 'M';
+  for (const char op : a.ops) {
+    if (op == 'M') {
+      score += pssm.score(qi++, subject[si++]);
+    } else if (op == 'D') {
+      score -= prev == 'D' ? params.gap_extend
+                           : params.gap_open + params.gap_extend;
+      ++qi;
+    } else {
+      score -= prev == 'I' ? params.gap_extend
+                           : params.gap_open + params.gap_extend;
+      ++si;
+    }
+    prev = op;
+  }
+  EXPECT_EQ(qi, a.q_end + 1);
+  EXPECT_EQ(si, a.s_end + 1);
+  return score;
+}
+
+TEST(SmithWaterman, IdenticalSequences) {
+  const auto query = bio::make_benchmark_query(80).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  blast::SearchParams params;
+  int self = 0;
+  for (std::size_t i = 0; i < query.size(); ++i)
+    self += pssm.score(i, query[i]);
+  EXPECT_EQ(blast::smith_waterman_score(pssm, query, params), self);
+  const auto a = blast::smith_waterman_align(pssm, query, 0, params);
+  EXPECT_EQ(a.score, self);
+  EXPECT_EQ(a.ops, std::string(80, 'M'));
+}
+
+TEST(SmithWaterman, AlignAgreesWithScoreOnly) {
+  util::Rng rng(601);
+  blast::SearchParams params;
+  for (int trial = 0; trial < 25; ++trial) {
+    auto query = bio::random_protein(120, rng);
+    auto subject = bio::random_protein(40, rng);
+    auto frag = bio::mutate_fragment(std::span(query).subspan(20, 80), 0.25,
+                                     0.05, rng);
+    subject.insert(subject.begin() + 20, frag.begin(), frag.end());
+    bio::Pssm pssm(query, bio::Blosum62::instance());
+    const int score = blast::smith_waterman_score(pssm, subject, params);
+    const auto a = blast::smith_waterman_align(pssm, subject, 0, params);
+    EXPECT_EQ(a.score, score);
+    if (score > 0) {
+      EXPECT_EQ(score, score_from_ops(pssm, subject, a, params));
+    }
+  }
+}
+
+TEST(SmithWaterman, UpperBoundsBlastAlignments) {
+  // Optimality: no BLAST alignment can ever beat the Smith-Waterman score
+  // on the same subject.
+  const auto query = bio::make_benchmark_query(127).residues;
+  auto profile = bio::DatabaseProfile::swissprot_like(60);
+  profile.homolog_fraction = 0.2;
+  bio::DatabaseGenerator gen(profile, 607);
+  const auto db = gen.generate(query);
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(query, db, params);
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  ASSERT_FALSE(result.alignments.empty());
+  for (const auto& a : result.alignments) {
+    const int sw =
+        blast::smith_waterman_score(pssm, db.residues(a.seq), params);
+    EXPECT_LE(a.score, sw) << "subject " << a.seq;
+  }
+}
+
+TEST(SmithWaterman, BlastRecoversMostOfOptimalOnHomologs) {
+  // The sensitivity claim: on planted homologs the heuristic's best
+  // alignment should capture nearly the optimal score.
+  const auto query = bio::make_benchmark_query(200).residues;
+  auto profile = bio::DatabaseProfile::swissprot_like(40);
+  profile.homolog_fraction = 0.5;
+  profile.mutation_rate = 0.2;
+  bio::DatabaseGenerator gen(profile, 613);
+  const auto db = gen.generate(query);
+  blast::SearchParams params;
+  const auto result = baselines::fsa_blast_search(query, db, params);
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+
+  std::size_t checked = 0;
+  double recovered_sum = 0.0;
+  for (const auto& a : result.alignments) {
+    if (db.description(a.seq) != "planted_homolog") continue;
+    const int sw =
+        blast::smith_waterman_score(pssm, db.residues(a.seq), params);
+    if (sw < 60) continue;
+    recovered_sum += static_cast<double>(a.score) / sw;
+    ++checked;
+  }
+  ASSERT_GT(checked, 5u);
+  EXPECT_GT(recovered_sum / static_cast<double>(checked), 0.9);
+}
+
+TEST(SmithWaterman, EmptyInputs) {
+  const auto query = bio::make_benchmark_query(30).residues;
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  blast::SearchParams params;
+  EXPECT_EQ(blast::smith_waterman_score(pssm, {}, params), 0);
+  const auto a = blast::smith_waterman_align(pssm, {}, 0, params);
+  EXPECT_EQ(a.score, 0);
+  EXPECT_TRUE(a.ops.empty());
+}
+
+TEST(SmithWaterman, UnrelatedSequencesScoreLow) {
+  util::Rng rng(617);
+  const auto query = bio::random_protein(100, rng);
+  const auto subject = bio::random_protein(100, rng);
+  bio::Pssm pssm(query, bio::Blosum62::instance());
+  blast::SearchParams params;
+  const int sw = blast::smith_waterman_score(pssm, subject, params);
+  EXPECT_GE(sw, 0);
+  EXPECT_LT(sw, 60);  // random 100-mers rarely exceed ~40
+}
+
+}  // namespace
+}  // namespace repro
