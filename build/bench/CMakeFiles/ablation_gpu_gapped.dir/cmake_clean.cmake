@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_gpu_gapped.dir/ablation_gpu_gapped.cpp.o"
+  "CMakeFiles/ablation_gpu_gapped.dir/ablation_gpu_gapped.cpp.o.d"
+  "ablation_gpu_gapped"
+  "ablation_gpu_gapped.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_gpu_gapped.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

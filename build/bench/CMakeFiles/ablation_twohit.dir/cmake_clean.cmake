@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_twohit.dir/ablation_twohit.cpp.o"
+  "CMakeFiles/ablation_twohit.dir/ablation_twohit.cpp.o.d"
+  "ablation_twohit"
+  "ablation_twohit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_twohit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

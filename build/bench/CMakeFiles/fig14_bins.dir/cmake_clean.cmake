@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_bins.dir/fig14_bins.cpp.o"
+  "CMakeFiles/fig14_bins.dir/fig14_bins.cpp.o.d"
+  "fig14_bins"
+  "fig14_bins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_bins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_scoring.dir/fig15_scoring.cpp.o"
+  "CMakeFiles/fig15_scoring.dir/fig15_scoring.cpp.o.d"
+  "fig15_scoring"
+  "fig15_scoring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_scoring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_extension.dir/fig16_extension.cpp.o"
+  "CMakeFiles/fig16_extension.dir/fig16_extension.cpp.o.d"
+  "fig16_extension"
+  "fig16_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

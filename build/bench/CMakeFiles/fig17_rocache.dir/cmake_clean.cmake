@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_rocache.dir/fig17_rocache.cpp.o"
+  "CMakeFiles/fig17_rocache.dir/fig17_rocache.cpp.o.d"
+  "fig17_rocache"
+  "fig17_rocache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_rocache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

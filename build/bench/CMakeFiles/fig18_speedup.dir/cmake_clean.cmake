@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_speedup.dir/fig18_speedup.cpp.o"
+  "CMakeFiles/fig18_speedup.dir/fig18_speedup.cpp.o.d"
+  "fig18_speedup"
+  "fig18_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_profiling.dir/fig19_profiling.cpp.o"
+  "CMakeFiles/fig19_profiling.dir/fig19_profiling.cpp.o.d"
+  "fig19_profiling"
+  "fig19_profiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_profiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

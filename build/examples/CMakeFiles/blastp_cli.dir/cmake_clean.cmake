@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blastp_cli.dir/blastp_cli.cpp.o"
+  "CMakeFiles/blastp_cli.dir/blastp_cli.cpp.o.d"
+  "blastp_cli"
+  "blastp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blastp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/database_tools.dir/database_tools.cpp.o"
+  "CMakeFiles/database_tools.dir/database_tools.cpp.o.d"
+  "database_tools"
+  "database_tools.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/database_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

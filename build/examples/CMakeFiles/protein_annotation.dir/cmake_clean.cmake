@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protein_annotation.dir/protein_annotation.cpp.o"
+  "CMakeFiles/protein_annotation.dir/protein_annotation.cpp.o.d"
+  "protein_annotation"
+  "protein_annotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protein_annotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_baselines.dir/coarse_gpu.cpp.o"
+  "CMakeFiles/repro_baselines.dir/coarse_gpu.cpp.o.d"
+  "CMakeFiles/repro_baselines.dir/cpu.cpp.o"
+  "CMakeFiles/repro_baselines.dir/cpu.cpp.o.d"
+  "librepro_baselines.a"
+  "librepro_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bio/alphabet.cpp" "src/bio/CMakeFiles/repro_bio.dir/alphabet.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/alphabet.cpp.o.d"
+  "/root/repo/src/bio/blosum.cpp" "src/bio/CMakeFiles/repro_bio.dir/blosum.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/blosum.cpp.o.d"
+  "/root/repo/src/bio/database.cpp" "src/bio/CMakeFiles/repro_bio.dir/database.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/database.cpp.o.d"
+  "/root/repo/src/bio/fasta.cpp" "src/bio/CMakeFiles/repro_bio.dir/fasta.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/fasta.cpp.o.d"
+  "/root/repo/src/bio/generator.cpp" "src/bio/CMakeFiles/repro_bio.dir/generator.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/generator.cpp.o.d"
+  "/root/repo/src/bio/karlin.cpp" "src/bio/CMakeFiles/repro_bio.dir/karlin.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/karlin.cpp.o.d"
+  "/root/repo/src/bio/pssm.cpp" "src/bio/CMakeFiles/repro_bio.dir/pssm.cpp.o" "gcc" "src/bio/CMakeFiles/repro_bio.dir/pssm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_bio.dir/alphabet.cpp.o"
+  "CMakeFiles/repro_bio.dir/alphabet.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/blosum.cpp.o"
+  "CMakeFiles/repro_bio.dir/blosum.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/database.cpp.o"
+  "CMakeFiles/repro_bio.dir/database.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/fasta.cpp.o"
+  "CMakeFiles/repro_bio.dir/fasta.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/generator.cpp.o"
+  "CMakeFiles/repro_bio.dir/generator.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/karlin.cpp.o"
+  "CMakeFiles/repro_bio.dir/karlin.cpp.o.d"
+  "CMakeFiles/repro_bio.dir/pssm.cpp.o"
+  "CMakeFiles/repro_bio.dir/pssm.cpp.o.d"
+  "librepro_bio.a"
+  "librepro_bio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_bio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/blast/gapped.cpp" "src/blast/CMakeFiles/repro_blast.dir/gapped.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/gapped.cpp.o.d"
+  "/root/repo/src/blast/results.cpp" "src/blast/CMakeFiles/repro_blast.dir/results.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/results.cpp.o.d"
+  "/root/repo/src/blast/seeding.cpp" "src/blast/CMakeFiles/repro_blast.dir/seeding.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/seeding.cpp.o.d"
+  "/root/repo/src/blast/smith_waterman.cpp" "src/blast/CMakeFiles/repro_blast.dir/smith_waterman.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/smith_waterman.cpp.o.d"
+  "/root/repo/src/blast/ungapped.cpp" "src/blast/CMakeFiles/repro_blast.dir/ungapped.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/ungapped.cpp.o.d"
+  "/root/repo/src/blast/wordlookup.cpp" "src/blast/CMakeFiles/repro_blast.dir/wordlookup.cpp.o" "gcc" "src/blast/CMakeFiles/repro_blast.dir/wordlookup.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bio/CMakeFiles/repro_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

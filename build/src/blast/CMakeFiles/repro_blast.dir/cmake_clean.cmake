@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_blast.dir/gapped.cpp.o"
+  "CMakeFiles/repro_blast.dir/gapped.cpp.o.d"
+  "CMakeFiles/repro_blast.dir/results.cpp.o"
+  "CMakeFiles/repro_blast.dir/results.cpp.o.d"
+  "CMakeFiles/repro_blast.dir/seeding.cpp.o"
+  "CMakeFiles/repro_blast.dir/seeding.cpp.o.d"
+  "CMakeFiles/repro_blast.dir/smith_waterman.cpp.o"
+  "CMakeFiles/repro_blast.dir/smith_waterman.cpp.o.d"
+  "CMakeFiles/repro_blast.dir/ungapped.cpp.o"
+  "CMakeFiles/repro_blast.dir/ungapped.cpp.o.d"
+  "CMakeFiles/repro_blast.dir/wordlookup.cpp.o"
+  "CMakeFiles/repro_blast.dir/wordlookup.cpp.o.d"
+  "librepro_blast.a"
+  "librepro_blast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_blast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/cublastp.cpp" "src/core/CMakeFiles/repro_core.dir/cublastp.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/cublastp.cpp.o.d"
+  "/root/repo/src/core/device_data.cpp" "src/core/CMakeFiles/repro_core.dir/device_data.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/device_data.cpp.o.d"
+  "/root/repo/src/core/gapped_kernel.cpp" "src/core/CMakeFiles/repro_core.dir/gapped_kernel.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/gapped_kernel.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/core/CMakeFiles/repro_core.dir/kernels.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/kernels.cpp.o.d"
+  "/root/repo/src/core/scoring.cpp" "src/core/CMakeFiles/repro_core.dir/scoring.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/scoring.cpp.o.d"
+  "/root/repo/src/core/window_kernel.cpp" "src/core/CMakeFiles/repro_core.dir/window_kernel.cpp.o" "gcc" "src/core/CMakeFiles/repro_core.dir/window_kernel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/blast/CMakeFiles/repro_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/repro_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpualgo/CMakeFiles/repro_gpualgo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/repro_bio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

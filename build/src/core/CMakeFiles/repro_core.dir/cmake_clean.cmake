@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_core.dir/cublastp.cpp.o"
+  "CMakeFiles/repro_core.dir/cublastp.cpp.o.d"
+  "CMakeFiles/repro_core.dir/device_data.cpp.o"
+  "CMakeFiles/repro_core.dir/device_data.cpp.o.d"
+  "CMakeFiles/repro_core.dir/gapped_kernel.cpp.o"
+  "CMakeFiles/repro_core.dir/gapped_kernel.cpp.o.d"
+  "CMakeFiles/repro_core.dir/kernels.cpp.o"
+  "CMakeFiles/repro_core.dir/kernels.cpp.o.d"
+  "CMakeFiles/repro_core.dir/scoring.cpp.o"
+  "CMakeFiles/repro_core.dir/scoring.cpp.o.d"
+  "CMakeFiles/repro_core.dir/window_kernel.cpp.o"
+  "CMakeFiles/repro_core.dir/window_kernel.cpp.o.d"
+  "librepro_core.a"
+  "librepro_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

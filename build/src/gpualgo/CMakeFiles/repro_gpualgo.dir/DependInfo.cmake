@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpualgo/scan.cpp" "src/gpualgo/CMakeFiles/repro_gpualgo.dir/scan.cpp.o" "gcc" "src/gpualgo/CMakeFiles/repro_gpualgo.dir/scan.cpp.o.d"
+  "/root/repo/src/gpualgo/segsort.cpp" "src/gpualgo/CMakeFiles/repro_gpualgo.dir/segsort.cpp.o" "gcc" "src/gpualgo/CMakeFiles/repro_gpualgo.dir/segsort.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simt/CMakeFiles/repro_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_gpualgo.dir/scan.cpp.o"
+  "CMakeFiles/repro_gpualgo.dir/scan.cpp.o.d"
+  "CMakeFiles/repro_gpualgo.dir/segsort.cpp.o"
+  "CMakeFiles/repro_gpualgo.dir/segsort.cpp.o.d"
+  "librepro_gpualgo.a"
+  "librepro_gpualgo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_gpualgo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

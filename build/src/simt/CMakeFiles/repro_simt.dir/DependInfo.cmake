@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simt/cost_model.cpp" "src/simt/CMakeFiles/repro_simt.dir/cost_model.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/cost_model.cpp.o.d"
+  "/root/repo/src/simt/engine.cpp" "src/simt/CMakeFiles/repro_simt.dir/engine.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/engine.cpp.o.d"
+  "/root/repo/src/simt/metrics.cpp" "src/simt/CMakeFiles/repro_simt.dir/metrics.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/metrics.cpp.o.d"
+  "/root/repo/src/simt/occupancy.cpp" "src/simt/CMakeFiles/repro_simt.dir/occupancy.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/occupancy.cpp.o.d"
+  "/root/repo/src/simt/rocache.cpp" "src/simt/CMakeFiles/repro_simt.dir/rocache.cpp.o" "gcc" "src/simt/CMakeFiles/repro_simt.dir/rocache.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

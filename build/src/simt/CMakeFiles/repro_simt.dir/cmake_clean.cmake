@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_simt.dir/cost_model.cpp.o"
+  "CMakeFiles/repro_simt.dir/cost_model.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/engine.cpp.o"
+  "CMakeFiles/repro_simt.dir/engine.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/metrics.cpp.o"
+  "CMakeFiles/repro_simt.dir/metrics.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/occupancy.cpp.o"
+  "CMakeFiles/repro_simt.dir/occupancy.cpp.o.d"
+  "CMakeFiles/repro_simt.dir/rocache.cpp.o"
+  "CMakeFiles/repro_simt.dir/rocache.cpp.o.d"
+  "librepro_simt.a"
+  "librepro_simt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_simt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

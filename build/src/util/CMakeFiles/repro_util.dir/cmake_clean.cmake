@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repro_util.dir/makespan.cpp.o"
+  "CMakeFiles/repro_util.dir/makespan.cpp.o.d"
+  "CMakeFiles/repro_util.dir/options.cpp.o"
+  "CMakeFiles/repro_util.dir/options.cpp.o.d"
+  "CMakeFiles/repro_util.dir/stats.cpp.o"
+  "CMakeFiles/repro_util.dir/stats.cpp.o.d"
+  "CMakeFiles/repro_util.dir/table.cpp.o"
+  "CMakeFiles/repro_util.dir/table.cpp.o.d"
+  "CMakeFiles/repro_util.dir/thread_pool.cpp.o"
+  "CMakeFiles/repro_util.dir/thread_pool.cpp.o.d"
+  "librepro_util.a"
+  "librepro_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repro_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

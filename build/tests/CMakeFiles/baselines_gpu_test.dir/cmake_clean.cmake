@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_gpu_test.dir/baselines_gpu_test.cpp.o"
+  "CMakeFiles/baselines_gpu_test.dir/baselines_gpu_test.cpp.o.d"
+  "baselines_gpu_test"
+  "baselines_gpu_test.pdb"
+  "baselines_gpu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_gpu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_gapped_test.dir/blast_gapped_test.cpp.o"
+  "CMakeFiles/blast_gapped_test.dir/blast_gapped_test.cpp.o.d"
+  "blast_gapped_test"
+  "blast_gapped_test.pdb"
+  "blast_gapped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_gapped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

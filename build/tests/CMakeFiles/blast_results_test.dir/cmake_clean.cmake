@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_results_test.dir/blast_results_test.cpp.o"
+  "CMakeFiles/blast_results_test.dir/blast_results_test.cpp.o.d"
+  "blast_results_test"
+  "blast_results_test.pdb"
+  "blast_results_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_results_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_seeding_test.dir/blast_seeding_test.cpp.o"
+  "CMakeFiles/blast_seeding_test.dir/blast_seeding_test.cpp.o.d"
+  "blast_seeding_test"
+  "blast_seeding_test.pdb"
+  "blast_seeding_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_seeding_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

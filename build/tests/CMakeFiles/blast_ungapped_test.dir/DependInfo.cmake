@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/blast_ungapped_test.cpp" "tests/CMakeFiles/blast_ungapped_test.dir/blast_ungapped_test.cpp.o" "gcc" "tests/CMakeFiles/blast_ungapped_test.dir/blast_ungapped_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/repro_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/repro_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/blast/CMakeFiles/repro_blast.dir/DependInfo.cmake"
+  "/root/repo/build/src/bio/CMakeFiles/repro_bio.dir/DependInfo.cmake"
+  "/root/repo/build/src/simt/CMakeFiles/repro_simt.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpualgo/CMakeFiles/repro_gpualgo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/repro_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blast_ungapped_test.dir/blast_ungapped_test.cpp.o"
+  "CMakeFiles/blast_ungapped_test.dir/blast_ungapped_test.cpp.o.d"
+  "blast_ungapped_test"
+  "blast_ungapped_test.pdb"
+  "blast_ungapped_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blast_ungapped_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

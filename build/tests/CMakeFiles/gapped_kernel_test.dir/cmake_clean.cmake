@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gapped_kernel_test.dir/gapped_kernel_test.cpp.o"
+  "CMakeFiles/gapped_kernel_test.dir/gapped_kernel_test.cpp.o.d"
+  "gapped_kernel_test"
+  "gapped_kernel_test.pdb"
+  "gapped_kernel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gapped_kernel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

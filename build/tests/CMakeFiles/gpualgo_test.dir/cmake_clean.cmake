@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gpualgo_test.dir/gpualgo_test.cpp.o"
+  "CMakeFiles/gpualgo_test.dir/gpualgo_test.cpp.o.d"
+  "gpualgo_test"
+  "gpualgo_test.pdb"
+  "gpualgo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gpualgo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/simt_collectives_test.dir/simt_collectives_test.cpp.o"
+  "CMakeFiles/simt_collectives_test.dir/simt_collectives_test.cpp.o.d"
+  "simt_collectives_test"
+  "simt_collectives_test.pdb"
+  "simt_collectives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/simt_collectives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smith_waterman_test.dir/smith_waterman_test.cpp.o"
+  "CMakeFiles/smith_waterman_test.dir/smith_waterman_test.cpp.o.d"
+  "smith_waterman_test"
+  "smith_waterman_test.pdb"
+  "smith_waterman_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smith_waterman_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/bio_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_seeding_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_ungapped_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_gapped_test[1]_include.cmake")
+include("/root/repo/build/tests/smith_waterman_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_test[1]_include.cmake")
+include("/root/repo/build/tests/simt_collectives_test[1]_include.cmake")
+include("/root/repo/build/tests/gpualgo_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pipeline_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_gpu_test[1]_include.cmake")
+include("/root/repo/build/tests/core_kernels_test[1]_include.cmake")
+include("/root/repo/build/tests/blast_results_test[1]_include.cmake")
+include("/root/repo/build/tests/gapped_kernel_test[1]_include.cmake")
