@@ -52,6 +52,11 @@ struct Config {
   /// CPU worker threads for gapped extension and traceback.
   std::size_t cpu_threads = 4;
 
+  /// Host worker threads the SIMT engine uses to execute blocks
+  /// (SM-sharded; see DESIGN.md). 1 = serial engine. Any value yields
+  /// bit-identical results and metrics.
+  int engine_workers = 1;
+
   [[nodiscard]] int detection_warps() const {
     return detection_blocks * detection_block_threads / 32;
   }

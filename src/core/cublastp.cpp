@@ -31,6 +31,7 @@ CuBlastp::CuBlastp(Config config) : config_(config) {
   if (config_.db_blocks == 0) config_.db_blocks = 1;
   if (config_.cpu_threads == 0) config_.cpu_threads = 1;
   if (config_.bin_capacity == 0) config_.bin_capacity = 256;
+  if (config_.engine_workers < 1) config_.engine_workers = 1;
 }
 
 SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
@@ -46,6 +47,7 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
   SearchReport report;
   simt::Engine engine;
   engine.set_readonly_cache_enabled(config_.use_readonly_cache);
+  engine.set_workers(config_.engine_workers);
 
   // --- query preprocessing (the "Other" phase of Fig. 19d) ---------------
   util::Timer other_timer;

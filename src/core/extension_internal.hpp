@@ -2,6 +2,7 @@
 // window_kernel.cpp). Not part of the public API.
 #pragma once
 
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -77,6 +78,6 @@ void run_window_extension_kernel(simt::Engine& engine, const Config& config,
                                  const std::vector<std::uint32_t>& region_base,
                                  ExtensionRecords& records,
                                  std::vector<std::uint32_t>& emitted,
-                                 std::uint64_t& extensions_run);
+                                 std::atomic<std::uint64_t>& extensions_run);
 
 }  // namespace repro::core::detail

@@ -534,7 +534,10 @@ ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
   cfg.block_threads = kBlockThreads;
   cfg.regs_per_thread = 48;
 
-  std::uint64_t extensions_run = 0;
+  // Incremented from inside kernel lambdas; blocks may run on different
+  // host workers, and relaxed additions commute, so the total is identical
+  // for any worker count.
+  std::atomic<std::uint64_t> extensions_run{0};
 
   auto bin_view = [&](std::size_t b) {
     return BinView{filtered.offsets[b], filtered.counts[b],
@@ -604,8 +607,9 @@ ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
                 });
                 lane_extend_ungapped(w, scoring, block.residues.data(),
                                      query.query_length, config.params, io);
-                extensions_run += static_cast<std::uint64_t>(
-                    w.active_lanes());
+                extensions_run.fetch_add(
+                    static_cast<std::uint64_t>(w.active_lanes()),
+                    std::memory_order_relaxed);
 
                 LaneArray<std::uint8_t> emit{};
                 LaneArray<std::uint32_t> diag_biased{};
@@ -680,8 +684,9 @@ ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
                             lane_extend_ungapped(
                                 w, scoring, block.residues.data(),
                                 query.query_length, config.params, io);
-                            extensions_run += static_cast<std::uint64_t>(
-                                w.active_lanes());
+                            extensions_run.fetch_add(
+                                static_cast<std::uint64_t>(w.active_lanes()),
+                                std::memory_order_relaxed);
 
                             LaneArray<std::uint8_t> emit{};
                             LaneArray<std::uint32_t> diag_biased{};
@@ -714,7 +719,7 @@ ExtensionResult launch_extension(simt::Engine& engine, const Config& config,
 
   // Host-side collection (modeled as the D2H copy of the record buffer).
   ExtensionResult result;
-  result.extensions_run = extensions_run;
+  result.extensions_run = extensions_run.load(std::memory_order_relaxed);
   std::vector<std::tuple<std::uint64_t, blast::UngappedExtension>> staged;
   for (std::size_t b = 0; b < total_bins; ++b) {
     for (std::uint32_t r = 0; r < emitted[b]; ++r) {

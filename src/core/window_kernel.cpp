@@ -163,7 +163,7 @@ void run_window_extension_kernel(simt::Engine& engine, const Config& config,
                                  const std::vector<std::uint32_t>& region_base,
                                  ExtensionRecords& records,
                                  std::vector<std::uint32_t>& emitted,
-                                 std::uint64_t& extensions_run) {
+                                 std::atomic<std::uint64_t>& extensions_run) {
   const std::size_t total_bins = filtered.counts.size();
   const int ws = config.window_size;
   if (ws < 2 || ws > 32 || (ws & (ws - 1)) != 0)
@@ -292,8 +292,10 @@ void run_window_extension_kernel(simt::Engine& engine, const Config& config,
                               return ok;
                             });
 
-                        extensions_run += static_cast<std::uint64_t>(
-                            w.active_lanes() / ws);
+                        extensions_run.fetch_add(
+                            static_cast<std::uint64_t>(
+                                w.active_lanes() / ws),
+                            std::memory_order_relaxed);
 
                         LaneArray<std::uint32_t> q_start{}, q_end{};
                         LaneArray<int> total{};

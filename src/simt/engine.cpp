@@ -1,5 +1,6 @@
 #include "simt/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace repro::simt {
@@ -16,12 +17,22 @@ void Engine::set_readonly_cache_enabled(bool enabled) {
   rocache_enabled_ = enabled;
 }
 
+void Engine::set_workers(int workers) {
+  workers_ = std::clamp(workers, 1, spec_.num_sms);
+  if (workers_ > 1) {
+    if (!pool_ || pool_->size() != static_cast<std::size_t>(workers_))
+      pool_ = std::make_unique<util::ThreadPool>(
+          static_cast<std::size_t>(workers_));
+  } else {
+    pool_.reset();
+  }
+}
+
 void Engine::reset_caches() {
   for (auto& cache : sm_caches_) cache.clear();
 }
 
-KernelStats Engine::launch(const LaunchConfig& config,
-                           const std::function<void(BlockCtx&)>& kernel) {
+int Engine::validate_launch(const LaunchConfig& config) const {
   if (config.block_threads <= 0 || config.block_threads % kWarpSize != 0)
     throw std::invalid_argument(
         "Engine::launch: block_threads must be a positive multiple of 32");
@@ -30,28 +41,21 @@ KernelStats Engine::launch(const LaunchConfig& config,
   if (config.block_threads > spec_.max_threads_per_block)
     throw std::invalid_argument(
         "Engine::launch: block_threads exceeds device limit");
+  return config.block_threads / kWarpSize;
+}
 
+KernelStats Engine::begin_stats(const LaunchConfig& config) const {
   KernelStats stats;
   stats.name = config.name;
   stats.block_threads = config.block_threads;
   stats.regs_per_thread = config.regs_per_thread;
   stats.num_blocks = static_cast<std::uint64_t>(config.grid_blocks);
+  return stats;
+}
 
-  const int warps_per_block = config.block_threads / kWarpSize;
-  std::size_t shared_high_water = 0;
-  for (int b = 0; b < config.grid_blocks; ++b) {
-    // Round-robin block -> SM assignment for the read-only cache model.
-    ReadOnlyCache* cache =
-        rocache_enabled_
-            ? &sm_caches_[static_cast<std::size_t>(b % spec_.num_sms)]
-            : nullptr;
-    BlockCtx block(*this, stats, cache, b, config.grid_blocks,
-                   warps_per_block, spec_.shared_mem_per_block);
-    kernel(block);
-    shared_high_water = std::max(shared_high_water,
-                                 block.shared().high_water());
-  }
-
+KernelStats Engine::finalize_launch(const LaunchConfig& config,
+                                    KernelStats stats,
+                                    std::size_t shared_high_water) {
   stats.shared_bytes = shared_high_water;
   stats.occupancy =
       compute_occupancy(spec_, config.block_threads, shared_high_water,

@@ -6,9 +6,29 @@
 // __syncthreads() barrier (warps of a region complete before the next
 // region starts), which is exactly the structure block-cooperative GPU
 // algorithms (e.g. the segmented bitonic sort) need.
+//
+// Kernels and regions are taken as template parameters, not std::function:
+// launch() and par() sit on the hot path of every simulated instruction, so
+// the callable must be inlinable and must not allocate. The non-template
+// bookkeeping (validation, occupancy, cost model, profile registry) lives
+// in engine.cpp behind small helpers.
+//
+// Execution modes:
+//  - serial (workers == 1, the default): blocks run in grid order 0..N-1,
+//    exactly as the original engine did.
+//  - SM-sharded parallel (set_workers(n > 1)): worker w owns the SMs
+//    {s : s % num_workers == w} and runs each owned SM's blocks
+//    (b = s, s + num_sms, s + 2*num_sms, ...) in increasing order. Because
+//    a block's SM assignment is b % num_sms in both modes, every per-SM
+//    read-only cache observes the same access sequence as serial execution,
+//    and each worker accumulates into a private KernelStats shard that is
+//    merged deterministically (in shard order) after the join — so metrics
+//    and results are bit-identical for any worker count.
 #pragma once
 
-#include <functional>
+#include <algorithm>
+#include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -19,6 +39,7 @@
 #include "simt/rocache.hpp"
 #include "simt/shared_memory.hpp"
 #include "simt/warp.hpp"
+#include "util/thread_pool.hpp"
 
 namespace repro::simt {
 
@@ -29,16 +50,12 @@ struct LaunchConfig {
   int regs_per_thread = 32;  ///< declared estimate, feeds occupancy
 };
 
-class Engine;
-
 /// Execution context of one block.
 class BlockCtx {
  public:
-  BlockCtx(Engine& engine, KernelStats& stats, ReadOnlyCache* rocache,
-           int block_id, int grid_blocks, int warps_per_block,
-           std::size_t shared_capacity)
-      : engine_(&engine),
-        stats_(&stats),
+  BlockCtx(KernelStats& stats, ReadOnlyCache* rocache, int block_id,
+           int grid_blocks, int warps_per_block, std::size_t shared_capacity)
+      : stats_(&stats),
         rocache_(rocache),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
@@ -51,7 +68,8 @@ class BlockCtx {
   [[nodiscard]] SharedMemory& shared() { return shared_; }
 
   /// Runs `region` for every warp of the block, then joins (barrier).
-  void par(const std::function<void(WarpExec&)>& region) {
+  template <class Region>
+  void par(Region&& region) {
     for (int w = 0; w < warps_per_block_; ++w) {
       WarpExec warp(*stats_, rocache_, block_id_, w, warps_per_block_,
                     grid_blocks_);
@@ -60,7 +78,6 @@ class BlockCtx {
   }
 
  private:
-  Engine* engine_;
   KernelStats* stats_;
   ReadOnlyCache* rocache_;
   int block_id_;
@@ -82,11 +99,72 @@ class Engine {
     return rocache_enabled_;
   }
 
+  /// Sets the number of host worker threads used to execute blocks.
+  /// Clamped to [1, num_sms] — SMs are the sharding unit, so more workers
+  /// than SMs cannot help. 1 (the default) keeps the original serial walk.
+  /// Any value produces bit-identical metrics and results.
+  void set_workers(int workers);
+  [[nodiscard]] int workers() const { return workers_; }
+
   /// Launches a kernel and returns its measured stats (time filled in by
   /// the cost model, occupancy from the launch shape and the shared-memory
   /// high-water mark). Also accumulates into the profile registry.
-  KernelStats launch(const LaunchConfig& config,
-                     const std::function<void(BlockCtx&)>& kernel);
+  template <class Kernel>
+  KernelStats launch(const LaunchConfig& config, Kernel&& kernel) {
+    const int warps_per_block = validate_launch(config);
+    KernelStats stats = begin_stats(config);
+    std::size_t shared_high_water = 0;
+
+    const int shards = shard_count(config.grid_blocks);
+    if (shards <= 1) {
+      for (int b = 0; b < config.grid_blocks; ++b) {
+        // Round-robin block -> SM assignment for the read-only cache model.
+        ReadOnlyCache* cache =
+            rocache_enabled_
+                ? &sm_caches_[static_cast<std::size_t>(b % spec_.num_sms)]
+                : nullptr;
+        BlockCtx block(stats, cache, b, config.grid_blocks, warps_per_block,
+                       spec_.shared_mem_per_block);
+        kernel(block);
+        shared_high_water =
+            std::max(shared_high_water, block.shared().high_water());
+      }
+    } else {
+      // Each worker owns a disjoint set of SMs and therefore a disjoint set
+      // of blocks and caches; stats go to a private shard. Kernels may still
+      // share global buffers across blocks only through WarpExec's global
+      // atomics, which use real std::atomic RMWs.
+      std::vector<KernelStats> shard_stats(static_cast<std::size_t>(shards));
+      std::vector<std::size_t> shard_high(static_cast<std::size_t>(shards), 0);
+      pool_->run_shards(
+          static_cast<std::size_t>(shards), [&](std::size_t shard) {
+            KernelStats& local = shard_stats[shard];
+            std::size_t high = 0;
+            for (int sm = static_cast<int>(shard); sm < spec_.num_sms;
+                 sm += shards) {
+              ReadOnlyCache* cache =
+                  rocache_enabled_
+                      ? &sm_caches_[static_cast<std::size_t>(sm)]
+                      : nullptr;
+              for (int b = sm; b < config.grid_blocks; b += spec_.num_sms) {
+                BlockCtx block(local, cache, b, config.grid_blocks,
+                               warps_per_block, spec_.shared_mem_per_block);
+                kernel(block);
+                high = std::max(high, block.shared().high_water());
+              }
+            }
+            shard_high[shard] = high;
+          });
+      // Deterministic merge: shard order is fixed and every counter is a
+      // sum (or max), so totals match serial execution bit-for-bit.
+      for (std::size_t s = 0; s < shard_stats.size(); ++s) {
+        stats += shard_stats[s];
+        shared_high_water = std::max(shared_high_water, shard_high[s]);
+      }
+    }
+
+    return finalize_launch(config, stats, shared_high_water);
+  }
 
   /// Models a PCIe transfer and accounts it under `label` in the profile.
   double transfer(const std::string& label, std::uint64_t bytes);
@@ -98,9 +176,24 @@ class Engine {
   void reset_caches();
 
  private:
+  /// Throws on an invalid launch shape; returns warps per block.
+  int validate_launch(const LaunchConfig& config) const;
+  /// Stats header for a launch (name, shape, block count).
+  KernelStats begin_stats(const LaunchConfig& config) const;
+  /// Occupancy + cost model + profile accumulation; returns final stats.
+  KernelStats finalize_launch(const LaunchConfig& config, KernelStats stats,
+                              std::size_t shared_high_water);
+  /// How many worker shards to use for a launch of `grid_blocks` blocks.
+  [[nodiscard]] int shard_count(int grid_blocks) const {
+    if (workers_ <= 1 || !pool_) return 1;
+    return std::min({workers_, spec_.num_sms, grid_blocks});
+  }
+
   DeviceSpec spec_;
   CostModel cost_;
   bool rocache_enabled_ = true;
+  int workers_ = 1;
+  std::unique_ptr<util::ThreadPool> pool_;
   std::vector<ReadOnlyCache> sm_caches_;
   ProfileRegistry profile_;
 };

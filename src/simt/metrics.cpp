@@ -4,7 +4,7 @@
 
 namespace repro::simt {
 
-void KernelStats::merge(const KernelStats& other) {
+KernelStats& KernelStats::operator+=(const KernelStats& other) {
   vec_ops += other.vec_ops;
   active_lane_sum += other.active_lane_sum;
   ld_requests += other.ld_requests;
@@ -20,9 +20,14 @@ void KernelStats::merge(const KernelStats& other) {
   atomic_ops += other.atomic_ops;
   atomic_serial_passes += other.atomic_serial_passes;
   num_blocks += other.num_blocks;
+  shared_bytes = std::max(shared_bytes, other.shared_bytes);
+  return *this;
+}
+
+void KernelStats::merge(const KernelStats& other) {
+  *this += other;
   block_threads = other.block_threads;
   regs_per_thread = other.regs_per_thread;
-  shared_bytes = std::max(shared_bytes, other.shared_bytes);
   // Weight occupancy by block count so repeated launches average sensibly.
   if (num_blocks > 0) {
     const double prev_blocks =

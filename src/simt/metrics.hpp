@@ -79,6 +79,14 @@ struct KernelStats {
                             static_cast<double>(total);
   }
 
+  /// Pure counter merge: sums every measured counter (and takes the max of
+  /// the shared-memory high-water mark). Integer addition is associative
+  /// and commutative, so merging per-worker shards of one launch in any
+  /// order yields bit-identical totals — the property the SM-sharded
+  /// parallel engine relies on. Launch-shape fields (block_threads,
+  /// regs_per_thread, occupancy) are left untouched.
+  KernelStats& operator+=(const KernelStats& other);
+
   /// Merges another launch of the same kernel (weighted by work).
   void merge(const KernelStats& other);
 };

@@ -12,9 +12,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <span>
+#include <type_traits>
 #include <utility>
 
 #include "simt/metrics.hpp"
@@ -171,13 +173,19 @@ class WarpExec {
 
   /// Atomic fetch-add on global memory. Colliding addresses within the warp
   /// serialize: lanes commit in lane order and the extra passes are charged.
+  /// The RMW itself is a real std::atomic fetch-add, so blocks running on
+  /// different host workers (the SM-sharded engine) may target the same
+  /// counter race-free; like on hardware, only the final sum — not the
+  /// per-lane `old` values — is deterministic under such cross-block
+  /// contention.
   template <class T, class I>
   void atomic_add_global(T* base, const LaneArray<I>& idx,
                          const LaneArray<T>& vals, LaneArray<T>& old) {
     note_op();
     ++stats_->atomic_ops;
     begin_segments();
-    std::uint64_t max_collisions = do_atomic_add(base, idx, vals, old, true);
+    std::uint64_t max_collisions =
+        do_atomic_add<true>(base, idx, vals, old);
     stats_->st_transactions += static_cast<std::uint64_t>(num_segments_);
     if (max_collisions > 1)
       stats_->atomic_serial_passes += max_collisions - 1;
@@ -190,12 +198,18 @@ class WarpExec {
                  LaneArray<T>& out) {
     note_op();
     ++stats_->shared_ops;
-    charge_bank_conflicts<const T, I>(region.data(), idx);
+    // Single pass: move the data and tally bank pressure together.
+    std::array<std::uint8_t, kWarpSize> bank_load{};
+    std::uint8_t worst = 1;
     for_active([&](int lane) {
-      out[static_cast<std::size_t>(lane)] =
-          region[static_cast<std::size_t>(
-              idx[static_cast<std::size_t>(lane)])];
+      const auto j =
+          static_cast<std::size_t>(idx[static_cast<std::size_t>(lane)]);
+      const auto addr = reinterpret_cast<std::uintptr_t>(region.data() + j);
+      worst = std::max(
+          worst, ++bank_load[static_cast<std::size_t>((addr >> 2) & 31u)]);
+      out[static_cast<std::size_t>(lane)] = region[j];
     });
+    if (worst > 1) stats_->shared_conflict_passes += worst - 1;
   }
 
   template <class T, class I>
@@ -203,11 +217,17 @@ class WarpExec {
                   const LaneArray<T>& vals) {
     note_op();
     ++stats_->shared_ops;
-    charge_bank_conflicts<T, I>(region.data(), idx);
+    std::array<std::uint8_t, kWarpSize> bank_load{};
+    std::uint8_t worst = 1;
     for_active([&](int lane) {
-      region[static_cast<std::size_t>(idx[static_cast<std::size_t>(lane)])] =
-          vals[static_cast<std::size_t>(lane)];
+      const auto j =
+          static_cast<std::size_t>(idx[static_cast<std::size_t>(lane)]);
+      const auto addr = reinterpret_cast<std::uintptr_t>(region.data() + j);
+      worst = std::max(
+          worst, ++bank_load[static_cast<std::size_t>((addr >> 2) & 31u)]);
+      region[j] = vals[static_cast<std::size_t>(lane)];
     });
+    if (worst > 1) stats_->shared_conflict_passes += worst - 1;
   }
 
   /// Atomic fetch-add on shared memory (paper Alg. 2's top[] counters):
@@ -219,7 +239,7 @@ class WarpExec {
     ++stats_->shared_ops;
     ++stats_->atomic_ops;
     std::uint64_t max_collisions =
-        do_atomic_add(region.data(), idx, vals, old, false);
+        do_atomic_add<false>(region.data(), idx, vals, old);
     if (max_collisions > 1)
       stats_->atomic_serial_passes += max_collisions - 1;
   }
@@ -258,6 +278,9 @@ class WarpExec {
   }
 
   /// Maximum over each width-lane window, broadcast to the window's lanes.
+  /// Like __shfl_down_sync-based reductions, this assumes the active mask
+  /// is uniform within each window: a lane may read an inactive peer's
+  /// value, which on hardware would be undefined.
   template <class T>
   void window_reduce_max(LaneArray<T>& vals, int width) {
     for (int delta = width / 2; delta >= 1; delta >>= 1) {
@@ -270,8 +293,13 @@ class WarpExec {
                      prev[static_cast<std::size_t>(peer)]);
       });
     }
-    // Broadcast window-leader value (lane 0 of window holds the max after
-    // the butterfly? A final pass makes every lane hold the window max).
+    // The delta loop is a shfl_down-style reduction, not a symmetric
+    // butterfly: lane i only ever combines with higher lanes (peer =
+    // lane + delta), so after the loop lane i holds the max of the window
+    // *suffix* starting at i — only the window's lane 0 holds the max of
+    // the whole window (width 4, deltas 2,1: lane 1 ends with
+    // max(v1,v2,v3), never seeing v0). The broadcast pass below is
+    // therefore required to hand lane 0's value to every lane.
     note_op();
     LaneArray<T> prev = vals;
     for_active([&](int lane) {
@@ -295,6 +323,12 @@ class WarpExec {
  private:
   template <class F>
   void for_active(F&& f) {
+    // Fast path: converged warps (the common case by far) take a straight
+    // counted loop the compiler can unroll instead of the bit-scan walk.
+    if (active_ == kFullMask) {
+      for (int lane = 0; lane < kWarpSize; ++lane) f(lane);
+      return;
+    }
     Mask m = active_;
     while (m) {
       const int lane = std::countr_zero(m);
@@ -314,7 +348,12 @@ class WarpExec {
     // 32-byte sectors: the granularity Kepler's L2 serves and the one
     // nvprof's gld_efficiency counts (the paper's Fig. 19a metric).
     const std::uintptr_t seg = address >> 5;
-    for (int i = 0; i < num_segments_; ++i)
+    // Coalesced lane addresses revisit the sector just inserted, so check
+    // it before the linear scan.
+    if (num_segments_ > 0 &&
+        segments_[static_cast<std::size_t>(num_segments_ - 1)] == seg)
+      return;
+    for (int i = 0; i < num_segments_ - 1; ++i)
       if (segments_[static_cast<std::size_t>(i)] == seg) return;
     segments_[static_cast<std::size_t>(num_segments_++)] = seg;
   }
@@ -332,19 +371,32 @@ class WarpExec {
     }
   }
 
-  template <class T, class I>
+  /// kGlobal selects the global-memory flavour: the update is a relaxed
+  /// std::atomic_ref fetch-add (cross-block safe under the SM-sharded
+  /// engine) and the touched 32-byte sectors are tracked. Shared memory is
+  /// private to a block — and each block runs on exactly one worker — so
+  /// the plain read-modify-write stays.
+  template <bool kGlobal, class T, class I>
   std::uint64_t do_atomic_add(T* base, const LaneArray<I>& idx,
-                              const LaneArray<T>& vals, LaneArray<T>& old,
-                              bool track_segments) {
+                              const LaneArray<T>& vals, LaneArray<T>& old) {
     // Commit in lane order; count the worst per-address collision depth.
     std::array<T*, kWarpSize> addrs{};
     int n = 0;
     for_active([&](int lane) {
       T* p = base + idx[static_cast<std::size_t>(lane)];
-      old[static_cast<std::size_t>(lane)] = *p;
-      *p += vals[static_cast<std::size_t>(lane)];
+      if constexpr (kGlobal) {
+        static_assert(std::is_integral_v<T>,
+                      "atomic_add_global requires an integral counter type");
+        old[static_cast<std::size_t>(lane)] =
+            std::atomic_ref<T>(*p).fetch_add(
+                vals[static_cast<std::size_t>(lane)],
+                std::memory_order_relaxed);
+      } else {
+        old[static_cast<std::size_t>(lane)] = *p;
+        *p += vals[static_cast<std::size_t>(lane)];
+      }
       addrs[static_cast<std::size_t>(n++)] = p;
-      if (track_segments) {
+      if constexpr (kGlobal) {
         stats_->st_bytes_requested += sizeof(T);
         add_segment(reinterpret_cast<std::uintptr_t>(p));
       }
@@ -359,19 +411,6 @@ class WarpExec {
       worst = std::max(worst, count);
     }
     return worst;
-  }
-
-  template <class T, class I>
-  void charge_bank_conflicts(T* base, const LaneArray<I>& idx) {
-    std::array<std::uint8_t, kWarpSize> bank_load{};
-    std::uint8_t worst = 1;
-    for_active([&](int lane) {
-      const auto addr = reinterpret_cast<std::uintptr_t>(
-          base + idx[static_cast<std::size_t>(lane)]);
-      const auto bank = static_cast<std::size_t>((addr >> 2) & 31u);
-      worst = std::max(worst, ++bank_load[bank]);
-    });
-    if (worst > 1) stats_->shared_conflict_passes += worst - 1;
   }
 
   KernelStats* stats_;

@@ -91,6 +91,24 @@ void ThreadPool::parallel_for_dynamic(
   for (auto& f : futures) f.get();
 }
 
+void ThreadPool::run_shards(std::size_t n,
+                            const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  std::vector<std::future<void>> futures;
+  futures.reserve(n);
+  for (std::size_t shard = 0; shard < n; ++shard)
+    futures.push_back(submit([shard, &fn] { fn(shard); }));
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });

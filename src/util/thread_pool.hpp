@@ -42,6 +42,14 @@ class ThreadPool {
   void parallel_for_dynamic(std::size_t n,
                             const std::function<void(std::size_t)>& fn);
 
+  /// Runs fn(shard) for shard in [0, n), one task per shard, and waits for
+  /// ALL shards to finish before returning — even when some of them throw.
+  /// If any shard threw, the exception of the lowest-numbered failing shard
+  /// is rethrown after the barrier, so error reporting is deterministic and
+  /// no shard can still be touching caller state during unwinding. This is
+  /// the join the SM-sharded SIMT engine uses.
+  void run_shards(std::size_t n, const std::function<void(std::size_t)>& fn);
+
   /// Blocks until every task submitted so far has finished.
   void wait_idle();
 

@@ -153,6 +153,101 @@ TEST(CuBlastp, OverflowRetryProducesSameOutput) {
   EXPECT_EQ(a.result.alignments, b.result.alignments);
 }
 
+// Compares two searches field by field. Search results and every
+// address-independent profile counter must be bit-identical. Counters that
+// depend on where malloc happened to place a buffer — 32-byte-sector
+// transaction splits, per-set read-only-cache hit/miss outcomes, and the
+// modeled times derived from them — are compared as invariant sums instead:
+// two *serial* runs of the same search already differ in those (allocator
+// reuse between calls is not byte-identical), so they cannot distinguish
+// serial from sharded execution. Full bit-identity of every counter,
+// including cache and timing, is asserted at the engine level in
+// engine_parallel_test.cpp, where both runs share one set of buffers.
+void expect_reports_bit_identical(const core::SearchReport& a,
+                                  const core::SearchReport& b) {
+  EXPECT_EQ(a.result.alignments, b.result.alignments);
+  EXPECT_EQ(a.result.counters.words_scanned, b.result.counters.words_scanned);
+  EXPECT_EQ(a.result.counters.hits_detected, b.result.counters.hits_detected);
+  EXPECT_EQ(a.result.counters.hits_after_filter,
+            b.result.counters.hits_after_filter);
+  EXPECT_EQ(a.result.counters.ungapped_extensions,
+            b.result.counters.ungapped_extensions);
+  EXPECT_EQ(a.result.counters.gapped_extensions,
+            b.result.counters.gapped_extensions);
+  EXPECT_EQ(a.result.counters.tracebacks, b.result.counters.tracebacks);
+  EXPECT_EQ(a.bin_overflow_retries, b.bin_overflow_retries);
+  // Per-kernel profile (Fig. 19 inputs).
+  const auto& ka = a.profile.kernels();
+  const auto& kb = b.profile.kernels();
+  ASSERT_EQ(ka.size(), kb.size());
+  auto ita = ka.begin();
+  auto itb = kb.begin();
+  for (; ita != ka.end(); ++ita, ++itb) {
+    ASSERT_EQ(ita->first, itb->first);
+    const auto& sa = ita->second;
+    const auto& sb = itb->second;
+    EXPECT_EQ(sa.vec_ops, sb.vec_ops) << ita->first;
+    EXPECT_EQ(sa.active_lane_sum, sb.active_lane_sum) << ita->first;
+    EXPECT_EQ(sa.ld_requests, sb.ld_requests) << ita->first;
+    EXPECT_EQ(sa.ld_bytes_requested, sb.ld_bytes_requested) << ita->first;
+    EXPECT_EQ(sa.st_requests, sb.st_requests) << ita->first;
+    EXPECT_EQ(sa.st_bytes_requested, sb.st_bytes_requested) << ita->first;
+    // Every read-only-cache lookup happens regardless of hit/miss, so the
+    // total is an address-independent invariant.
+    EXPECT_EQ(sa.rocache_hits + sa.rocache_misses,
+              sb.rocache_hits + sb.rocache_misses)
+        << ita->first;
+    EXPECT_EQ(sa.shared_ops, sb.shared_ops) << ita->first;
+    EXPECT_EQ(sa.shared_conflict_passes, sb.shared_conflict_passes)
+        << ita->first;
+    EXPECT_EQ(sa.atomic_ops, sb.atomic_ops) << ita->first;
+    EXPECT_EQ(sa.atomic_serial_passes, sb.atomic_serial_passes) << ita->first;
+    EXPECT_EQ(sa.num_blocks, sb.num_blocks) << ita->first;
+    EXPECT_EQ(sa.shared_bytes, sb.shared_bytes) << ita->first;
+    EXPECT_EQ(sa.occupancy, sb.occupancy) << ita->first;
+  }
+}
+
+TEST(CuBlastp, EngineWorkersBitIdenticalToSerial) {
+  // The SM-sharded parallel engine invariant: any worker count reproduces
+  // the serial run exactly — results, counters, and profile metrics.
+  const auto w = make_workload(127, 60, 23);
+  const auto config = base_config();
+  const auto serial = core::CuBlastp(config).search(w.query, w.db);
+  ASSERT_FALSE(serial.result.alignments.empty());
+  for (const int workers : {1, 2, 4}) {
+    SCOPED_TRACE("engine_workers=" + std::to_string(workers));
+    auto cfg = config;
+    cfg.engine_workers = workers;
+    const auto parallel = core::CuBlastp(cfg).search(w.query, w.db);
+    expect_reports_bit_identical(serial, parallel);
+  }
+}
+
+TEST_P(StrategySweep, EngineWorkersInvariantAcrossStrategies) {
+  const auto w = make_workload(127, 50, 29);
+  auto config = base_config();
+  config.strategy = GetParam();
+  const auto serial = core::CuBlastp(config).search(w.query, w.db);
+  config.engine_workers = 4;
+  const auto parallel = core::CuBlastp(config).search(w.query, w.db);
+  expect_reports_bit_identical(serial, parallel);
+}
+
+TEST(CuBlastp, OverflowRetryUnderParallelEngine) {
+  // The overflow counter is the one cross-block global atomic; the retry
+  // loop must behave identically when blocks run on several workers.
+  const auto w = make_workload(127, 40, 37);
+  auto tiny = base_config();
+  tiny.bin_capacity = 4;  // guaranteed overflow
+  auto tiny_parallel = tiny;
+  tiny_parallel.engine_workers = 4;
+  const auto serial = core::CuBlastp(tiny).search(w.query, w.db);
+  const auto parallel = core::CuBlastp(tiny_parallel).search(w.query, w.db);
+  EXPECT_GT(parallel.bin_overflow_retries, 0u);
+  expect_reports_bit_identical(serial, parallel);
+}
+
 TEST(CuBlastp, CountersMatchFsaBaseline) {
   const auto w = make_workload(127, 60, 41);
   auto config = base_config();
