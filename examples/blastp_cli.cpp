@@ -4,13 +4,14 @@
 //   ./blastp_cli --query=queries.fasta --db=database.fasta
 //                [--evalue=10] [--engine=cublastp|fsa|ncbi]
 //                [--strategy=window|diagonal|hit] [--threads=4]
-//                [--max_alignments=5]
+//                [--max_alignments=5] [--lenient]
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
 //   printf '>q\n...' > q.fasta   (or use database_tools + your own FASTA)
 //   ./blastp_cli --query=q.fasta --db=db.fasta
 #include <cstdio>
+#include <exception>
 #include <string>
 
 #include "baselines/cpu.hpp"
@@ -20,7 +21,9 @@
 #include "util/options.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace repro;
   util::Options options(argc, argv);
   if (!options.has("query") || !options.has("db")) {
@@ -28,13 +31,26 @@ int main(int argc, char** argv) {
                  "usage: blastp_cli --query=FASTA --db=FASTA "
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
-                 "[--max_alignments=N]\n");
+                 "[--max_alignments=N] [--lenient]\n");
     return 2;
   }
 
-  const auto queries = bio::read_fasta_file(options.get("query", ""));
+  const auto policy = options.has("lenient")
+                          ? bio::FastaPolicy::kLenient
+                          : bio::FastaPolicy::kStrict;
+  bio::FastaWarnings warnings;
+  const auto queries =
+      bio::read_fasta_file(options.get("query", ""), policy, &warnings);
   const bio::SequenceDatabase db(
-      bio::read_fasta_file(options.get("db", "")));
+      bio::read_fasta_file(options.get("db", ""), policy, &warnings));
+  if (warnings.total() != 0)
+    std::fprintf(stderr,
+                 "blastp_cli: lenient FASTA parse: %llu unknown residues "
+                 "mapped to X, %llu empty records skipped, %llu empty ids\n",
+                 static_cast<unsigned long long>(warnings.unknown_residues),
+                 static_cast<unsigned long long>(
+                     warnings.empty_records_skipped),
+                 static_cast<unsigned long long>(warnings.empty_ids));
   std::printf("Database: %zu sequences; %llu total letters\n\n", db.size(),
               static_cast<unsigned long long>(db.total_residues()));
 
@@ -59,6 +75,7 @@ int main(int argc, char** argv) {
                 query.length());
     util::Timer timer;
     blast::SearchResult result;
+    core::SearchReport report;
     if (engine_name == "fsa") {
       result = baselines::fsa_blast_search(query.residues, db,
                                            config.params);
@@ -66,11 +83,21 @@ int main(int argc, char** argv) {
       result = baselines::ncbi_mt_search(query.residues, db, config.params,
                                          config.cpu_threads);
     } else {
-      result = core::CuBlastp(config)
-                   .search(query.residues, db)
-                   .result;
+      report = core::CuBlastp(config).search(query.residues, db);
+      result = std::move(report.result);
     }
     const double elapsed = timer.seconds();
+    if (report.degraded())
+      std::fprintf(stderr,
+                   "blastp_cli: query %s degraded: %llu of %zu blocks fell "
+                   "back to the CPU, %llu cache-off retries, %llu injected "
+                   "faults absorbed (results stay complete)\n",
+                   query.id.c_str(),
+                   static_cast<unsigned long long>(report.degraded_blocks),
+                   report.retry_counts.size(),
+                   static_cast<unsigned long long>(report.cache_off_retries),
+                   static_cast<unsigned long long>(
+                       report.faults_encountered));
 
     if (result.alignments.empty()) {
       std::printf("***** No hits found *****\n\n");
@@ -101,4 +128,15 @@ int main(int argc, char** argv) {
                     result.counters.gapped_extensions));
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "blastp_cli: error: %s\n", e.what());
+    return 1;
+  }
 }

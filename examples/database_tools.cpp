@@ -5,10 +5,11 @@
 //
 //   ./database_tools generate --out=db.fasta [--seqs=N] [--env_nr]
 //                             [--plant_query_len=N]
-//   ./database_tools inspect --in=db.fasta
+//   ./database_tools inspect --in=db.fasta [--lenient]
 #include <cstdio>
 
 #include <array>
+#include <exception>
 
 #include "bio/alphabet.hpp"
 #include "bio/fasta.hpp"
@@ -16,7 +17,9 @@
 #include "util/options.hpp"
 #include "util/stats.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace repro;
   util::Options options(argc, argv);
   const auto& positional = options.positional();
@@ -51,7 +54,20 @@ int main(int argc, char** argv) {
 
   if (mode == "inspect") {
     const std::string in = options.get("in", "db.fasta");
-    const bio::SequenceDatabase db(bio::read_fasta_file(in));
+    const auto policy = options.has("lenient") ? bio::FastaPolicy::kLenient
+                                               : bio::FastaPolicy::kStrict;
+    bio::FastaWarnings warnings;
+    const bio::SequenceDatabase db(
+        bio::read_fasta_file(in, policy, &warnings));
+    if (warnings.total() != 0)
+      std::fprintf(stderr,
+                   "database_tools: lenient parse: %llu unknown residues "
+                   "mapped to X, %llu empty records skipped, %llu empty "
+                   "ids\n",
+                   static_cast<unsigned long long>(warnings.unknown_residues),
+                   static_cast<unsigned long long>(
+                       warnings.empty_records_skipped),
+                   static_cast<unsigned long long>(warnings.empty_ids));
     std::printf("%s: %zu sequences, %llu residues, average length %.1f, "
                 "max %zu\n\n",
                 in.c_str(), db.size(),
@@ -76,4 +92,15 @@ int main(int argc, char** argv) {
 
   std::fprintf(stderr, "usage: database_tools generate|inspect [options]\n");
   return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "database_tools: error: %s\n", e.what());
+    return 1;
+  }
 }

@@ -6,13 +6,17 @@
 //   ./protein_annotation [--reads=N] [--queries=N] [--threads=T]
 #include <cstdio>
 
+#include <exception>
+
 #include "bio/generator.hpp"
 #include "core/cublastp.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 #include "util/timer.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace repro;
   util::Options options(argc, argv);
   const auto num_reads =
@@ -54,9 +58,11 @@ int main(int argc, char** argv) {
                      "e-value", "coverage"});
   util::Timer wall;
   double gpu_ms = 0.0;
+  std::uint64_t degraded_blocks = 0;
   for (const auto& query : queries) {
     const auto report = engine.search(query.residues, db);
     gpu_ms += report.gpu_critical_ms();
+    degraded_blocks += report.degraded_blocks;
     if (report.result.alignments.empty()) {
       table.add_row({query.id, std::to_string(query.length()), "0", "-",
                      "-", "-", "-"});
@@ -78,5 +84,21 @@ int main(int argc, char** argv) {
   std::printf("annotated %zu queries in %.2f s host wall-clock "
               "(modeled GPU critical time: %.2f ms)\n",
               queries.size(), wall.seconds(), gpu_ms);
+  if (degraded_blocks != 0)
+    std::fprintf(stderr,
+                 "protein_annotation: %llu database blocks were served by "
+                 "the CPU fallback (results stay complete)\n",
+                 static_cast<unsigned long long>(degraded_blocks));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "protein_annotation: error: %s\n", e.what());
+    return 1;
+  }
 }

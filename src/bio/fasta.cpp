@@ -6,21 +6,45 @@
 #include <stdexcept>
 
 #include "bio/alphabet.hpp"
+#include "util/fault.hpp"
 
 namespace repro::bio {
 
-std::vector<Sequence> read_fasta(std::istream& in) {
+std::vector<Sequence> read_fasta(std::istream& in, FastaPolicy policy,
+                                 FastaWarnings* warnings) {
+  // "bio.fasta" models ingest-layer failures (truncated reads, bad media).
+  util::fault_point_throw("bio.fasta");
+
+  const bool lenient = policy == FastaPolicy::kLenient;
+  FastaWarnings local;
+  FastaWarnings& warn = warnings ? *warnings : local;
+
   std::vector<Sequence> records;
   std::string line;
   bool have_record = false;
+
+  // Lenient mode drops a record that ended with no residues.
+  const auto close_record = [&] {
+    if (lenient && have_record && records.back().residues.empty()) {
+      records.pop_back();
+      ++warn.empty_records_skipped;
+    }
+  };
+
   while (std::getline(in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     if (line[0] == '>') {
+      close_record();
       Sequence seq;
       const auto header = line.substr(1);
       const auto space = header.find_first_of(" \t");
       seq.id = header.substr(0, space);
+      if (seq.id.empty()) {
+        if (!lenient)
+          throw std::invalid_argument("FASTA: '>' line with an empty id");
+        ++warn.empty_ids;
+      }
       if (space != std::string::npos) {
         const auto start = header.find_first_not_of(" \t", space);
         if (start != std::string::npos) seq.description = header.substr(start);
@@ -28,32 +52,44 @@ std::vector<Sequence> read_fasta(std::istream& in) {
       records.push_back(std::move(seq));
       have_record = true;
     } else {
+      // Data before any header is structural corruption, not residue
+      // noise — both policies reject it.
       if (!have_record)
         throw std::invalid_argument("FASTA: sequence data before '>' header");
       auto& res = records.back().residues;
       for (const char c : line) {
         if (std::isspace(static_cast<unsigned char>(c))) continue;
         const auto code = encode_letter(c);
-        if (!code)
-          throw std::invalid_argument(
-              std::string("FASTA: invalid residue '") + c + "' in record " +
-              records.back().id);
+        if (!code) {
+          if (!lenient)
+            throw std::invalid_argument(
+                std::string("FASTA: invalid residue '") + c + "' in record " +
+                records.back().id);
+          ++warn.unknown_residues;
+          res.push_back(kCodeX);
+          continue;
+        }
         res.push_back(*code);
       }
     }
   }
+  close_record();
   return records;
 }
 
-std::vector<Sequence> read_fasta_string(const std::string& s) {
+std::vector<Sequence> read_fasta_string(const std::string& s,
+                                        FastaPolicy policy,
+                                        FastaWarnings* warnings) {
   std::istringstream in(s);
-  return read_fasta(in);
+  return read_fasta(in, policy, warnings);
 }
 
-std::vector<Sequence> read_fasta_file(const std::string& path) {
+std::vector<Sequence> read_fasta_file(const std::string& path,
+                                      FastaPolicy policy,
+                                      FastaWarnings* warnings) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open FASTA file: " + path);
-  return read_fasta(in);
+  return read_fasta(in, policy, warnings);
 }
 
 void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,

@@ -1,6 +1,7 @@
 // FASTA reading and writing.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -9,15 +10,42 @@
 
 namespace repro::bio {
 
-/// Parses all records from a FASTA stream. Throws std::invalid_argument on
-/// malformed input (sequence data before the first header, bad residues).
-[[nodiscard]] std::vector<Sequence> read_fasta(std::istream& in);
+/// How read_fasta treats malformed input.
+enum class FastaPolicy {
+  kStrict,   ///< throw std::invalid_argument (bad residues, empty ids)
+  kLenient,  ///< map unknown residues to X, skip empty records, count both
+};
+
+/// What lenient parsing papered over. total() == 0 means the input was
+/// clean and both policies would have produced identical records.
+struct FastaWarnings {
+  std::uint64_t unknown_residues = 0;       ///< non-residue chars mapped to X
+  std::uint64_t empty_records_skipped = 0;  ///< headers with no residues
+  std::uint64_t empty_ids = 0;              ///< '>' lines with a blank id
+
+  [[nodiscard]] std::uint64_t total() const {
+    return unknown_residues + empty_records_skipped + empty_ids;
+  }
+};
+
+/// Parses all records from a FASTA stream. Under kStrict (the default),
+/// throws std::invalid_argument on malformed input: sequence data before
+/// the first header, bad residues, or a '>' line with an empty id. Under
+/// kLenient, unknown residue characters become X, records left without
+/// residues are dropped, and `warnings` (if given) counts what happened.
+[[nodiscard]] std::vector<Sequence> read_fasta(
+    std::istream& in, FastaPolicy policy = FastaPolicy::kStrict,
+    FastaWarnings* warnings = nullptr);
 
 /// Convenience: parse from a string.
-[[nodiscard]] std::vector<Sequence> read_fasta_string(const std::string& s);
+[[nodiscard]] std::vector<Sequence> read_fasta_string(
+    const std::string& s, FastaPolicy policy = FastaPolicy::kStrict,
+    FastaWarnings* warnings = nullptr);
 
 /// Loads a FASTA file from disk. Throws std::runtime_error if unreadable.
-[[nodiscard]] std::vector<Sequence> read_fasta_file(const std::string& path);
+[[nodiscard]] std::vector<Sequence> read_fasta_file(
+    const std::string& path, FastaPolicy policy = FastaPolicy::kStrict,
+    FastaWarnings* warnings = nullptr);
 
 /// Writes records, wrapping residue lines at `width` letters.
 void write_fasta(std::ostream& out, const std::vector<Sequence>& seqs,

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <string>
 
 #include "blast/types.hpp"
 
@@ -35,6 +37,18 @@ struct Config {
   /// Initial per-bin capacity in packed hits; grows on overflow.
   std::size_t bin_capacity = 256;
 
+  /// Cap on overflow-driven capacity doublings per block attempt. Hitting
+  /// it surfaces SearchError{kBinOverflowExhausted} to the degradation
+  /// ladder instead of looping forever (the paper's fixed-capacity bins of
+  /// §3.2 must overflow eventually on adversarial input).
+  int max_bin_retries = 8;
+
+  /// Hard ceiling on the grown per-bin capacity (guards the uint32 counter
+  /// fields long before they can wrap, and bounds the slots buffer: it
+  /// holds warps x bins x capacity 8-byte elements, ~1 GiB at this cap for
+  /// the default grid).
+  std::uint32_t max_bin_capacity = 1u << 14;
+
   ExtensionStrategy strategy = ExtensionStrategy::kWindow;
   ScoringMode scoring = ScoringMode::kAuto;
   int window_size = 8;  ///< lanes per window in the window-based kernel
@@ -56,6 +70,12 @@ struct Config {
   /// (SM-sharded; see DESIGN.md). 1 = serial engine. Any value yields
   /// bit-identical results and metrics.
   int engine_workers = 1;
+
+  /// Fault-injection schedule installed into util::FaultInjector for the
+  /// duration of each search() (see util/fault.hpp for the grammar).
+  /// Empty = leave the process-wide (env-driven) schedule untouched.
+  std::string fault_schedule;
+  std::uint64_t fault_seed = 0;  ///< 0 = util::default_fault_seed()
 
   [[nodiscard]] int detection_warps() const {
     return detection_blocks * detection_block_threads / 32;

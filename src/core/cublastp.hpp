@@ -6,10 +6,12 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "bio/database.hpp"
 #include "blast/types.hpp"
 #include "core/config.hpp"
+#include "core/errors.hpp"
 #include "simt/engine.hpp"
 
 namespace repro::core {
@@ -42,6 +44,18 @@ struct SearchReport {
   // Diagnostics.
   std::uint64_t bin_overflow_retries = 0;
   simt::ProfileRegistry profile;
+
+  // Degradation-ladder observability (see DESIGN.md §9). A fault-free
+  // search has degraded_blocks == 0, all-zero retry_counts, and
+  // faults_encountered == 0, so callers can alert on any nonzero value.
+  std::uint64_t degraded_blocks = 0;   ///< blocks served by the CPU fallback
+  std::uint64_t cache_off_retries = 0; ///< blocks retried with rocache off
+  std::vector<std::uint32_t> retry_counts;  ///< per block: failed attempts
+  std::uint64_t faults_encountered = 0;     ///< injected faults absorbed
+
+  [[nodiscard]] bool degraded() const {
+    return degraded_blocks != 0 || cache_off_retries != 0;
+  }
 
   [[nodiscard]] double gpu_critical_ms() const {
     return detection_ms + scan_ms + assemble_ms + sort_ms + filter_ms +

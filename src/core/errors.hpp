@@ -1,0 +1,52 @@
+// Structured error taxonomy for the search pipeline. Every failure the
+// pipeline can surface carries a SearchErrorCode, so callers (CLI tools,
+// services) can decide between retry, degradation, and hard failure
+// without parsing message strings.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace repro::core {
+
+enum class SearchErrorCode {
+  kInvalidArgument,       ///< input violates a pipeline contract
+  kBinOverflowExhausted,  ///< bin capacity growth hit its retry/size caps
+  kDeviceAllocation,      ///< device-buffer allocation failed
+  kDeviceTransfer,        ///< H2D/D2H transfer failed
+  kDeviceLaunch,          ///< kernel launch failed
+  kWorkerFailed,          ///< a host worker thread threw
+  kIngest,                ///< FASTA/database ingest failed
+  kDegradationExhausted,  ///< every rung of the ladder failed for a block
+};
+
+[[nodiscard]] constexpr const char* to_string(SearchErrorCode code) {
+  switch (code) {
+    case SearchErrorCode::kInvalidArgument: return "invalid_argument";
+    case SearchErrorCode::kBinOverflowExhausted:
+      return "bin_overflow_exhausted";
+    case SearchErrorCode::kDeviceAllocation: return "device_allocation";
+    case SearchErrorCode::kDeviceTransfer: return "device_transfer";
+    case SearchErrorCode::kDeviceLaunch: return "device_launch";
+    case SearchErrorCode::kWorkerFailed: return "worker_failed";
+    case SearchErrorCode::kIngest: return "ingest";
+    case SearchErrorCode::kDegradationExhausted:
+      return "degradation_exhausted";
+  }
+  return "unknown";
+}
+
+class SearchError : public std::runtime_error {
+ public:
+  SearchError(SearchErrorCode code, const std::string& message)
+      : std::runtime_error(std::string("cuBLASTP [") + to_string(code) +
+                           "]: " + message),
+        code_(code) {}
+
+  [[nodiscard]] SearchErrorCode code() const { return code_; }
+
+ private:
+  SearchErrorCode code_;
+};
+
+}  // namespace repro::core

@@ -10,6 +10,7 @@
 #include "core/scoring.hpp"
 #include "gpualgo/scan.hpp"
 #include "gpualgo/segsort.hpp"
+#include "util/fault.hpp"
 
 namespace repro::core {
 
@@ -243,7 +244,10 @@ DetectionResult launch_hit_detection(simt::Engine& engine,
   });
 
   DetectionResult result;
-  result.overflowed = bins.overflowed();
+  // "core.bin_overflow" forces the overflow path even when the bins held,
+  // exercising the capacity-growth ladder on schedules of any density.
+  const bool forced_overflow = util::fault_point("core.bin_overflow");
+  result.overflowed = bins.overflowed() || forced_overflow;
   for (const auto count : bins.counts)
     result.total_hits += std::min<std::uint32_t>(count, bins.capacity);
   return result;

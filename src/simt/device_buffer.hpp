@@ -11,6 +11,8 @@
 #include <new>
 #include <vector>
 
+#include "util/fault.hpp"
+
 namespace repro::simt {
 
 template <class T>
@@ -23,6 +25,8 @@ struct DeviceAllocator {
   DeviceAllocator(const DeviceAllocator<U>&) {}  // NOLINT(google-explicit-constructor)
 
   T* allocate(std::size_t n) {
+    // "simt.alloc" models cudaMalloc returning cudaErrorMemoryAllocation.
+    if (util::fault_point("simt.alloc")) throw std::bad_alloc();
     const std::size_t bytes =
         (n * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
     void* p = std::aligned_alloc(kAlignment, bytes);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/fault.hpp"
+
 namespace repro::simt {
 
 Engine::Engine(DeviceSpec spec, CostModel cost)
@@ -33,6 +35,10 @@ void Engine::reset_caches() {
 }
 
 int Engine::validate_launch(const LaunchConfig& config) const {
+  // "simt.launch" models a launch-time device error (cudaErrorLaunchFailure).
+  if (util::fault_point("simt.launch"))
+    throw DeviceError("injected launch failure in kernel '" + config.name +
+                      "'");
   if (config.block_threads <= 0 || config.block_threads % kWarpSize != 0)
     throw std::invalid_argument(
         "Engine::launch: block_threads must be a positive multiple of 32");
@@ -67,6 +73,9 @@ KernelStats Engine::finalize_launch(const LaunchConfig& config,
 }
 
 double Engine::transfer(const std::string& label, std::uint64_t bytes) {
+  // "simt.transfer" models a failed cudaMemcpy.
+  if (util::fault_point("simt.transfer"))
+    throw DeviceError("injected transfer failure for '" + label + "'");
   const double ms = cost_.transfer_ms(spec_, bytes);
   KernelStats stats;
   stats.name = label;

@@ -29,6 +29,7 @@
 #include <algorithm>
 #include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -48,6 +49,14 @@ struct LaunchConfig {
   int grid_blocks = 1;
   int block_threads = 128;   ///< must be a positive multiple of 32
   int regs_per_thread = 32;  ///< declared estimate, feeds occupancy
+};
+
+/// Device-layer failure (transfer or launch) — the software analogue of a
+/// nonzero cudaError_t. Kept simt-local so the core pipeline can translate
+/// it into its own SearchError taxonomy; allocation failures surface as
+/// std::bad_alloc from DeviceAllocator, matching cudaMalloc semantics.
+class DeviceError : public std::runtime_error {
+  using std::runtime_error::runtime_error;
 };
 
 /// Execution context of one block.

@@ -1,0 +1,162 @@
+#include "util/fault.hpp"
+
+#include <cstdlib>
+#include <string>
+
+namespace repro::util {
+
+namespace {
+
+/// splitmix64: the per-hit hash behind prob= triggers. Mixing the seed, a
+/// hash of the point name, and the hit index makes the decision a pure
+/// function of (seed, point, hit number) — independent of thread timing.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash_name(std::string_view name) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a
+  for (const char c : name) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+std::uint64_t parse_u64(const std::string& text, const std::string& entry) {
+  try {
+    return std::stoull(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault schedule: bad integer in '" + entry +
+                                "'");
+  }
+}
+
+double parse_prob(const std::string& text, const std::string& entry) {
+  double p = 0.0;
+  try {
+    p = std::stod(text);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("fault schedule: bad probability in '" +
+                                entry + "'");
+  }
+  if (p < 0.0 || p > 1.0)
+    throw std::invalid_argument("fault schedule: probability outside [0,1] "
+                                "in '" + entry + "'");
+  return p;
+}
+
+}  // namespace
+
+std::uint64_t default_fault_seed() {
+  if (const char* env = std::getenv("REPRO_FAULT_SEED")) {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(env, &end, 10);
+    if (end != env && *end == '\0' && v != 0) return v;
+  }
+  return 1;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::configure(const std::string& schedule,
+                              std::uint64_t seed) {
+  std::map<std::string, PointState, std::less<>> points;
+  std::size_t pos = 0;
+  while (pos < schedule.size()) {
+    std::size_t end = schedule.find(';', pos);
+    if (end == std::string::npos) end = schedule.size();
+    const std::string entry = schedule.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    const std::size_t colon = entry.find(':');
+    if (colon == std::string::npos || colon == 0)
+      throw std::invalid_argument("fault schedule: expected 'point:trigger' "
+                                  "in '" + entry + "'");
+    PointState state;
+    std::size_t tpos = colon + 1;
+    while (tpos <= entry.size()) {
+      std::size_t tend = entry.find(',', tpos);
+      if (tend == std::string::npos) tend = entry.size();
+      const std::string trigger = entry.substr(tpos, tend - tpos);
+      tpos = tend + 1;
+      if (trigger.empty()) continue;
+      if (trigger.starts_with("nth="))
+        state.rule.nth = parse_u64(trigger.substr(4), entry);
+      else if (trigger.starts_with("every="))
+        state.rule.every = parse_u64(trigger.substr(6), entry);
+      else if (trigger.starts_with("prob="))
+        state.rule.probability = parse_prob(trigger.substr(5), entry);
+      else if (trigger.starts_with("max="))
+        state.rule.max_fires = parse_u64(trigger.substr(4), entry);
+      else
+        throw std::invalid_argument("fault schedule: unknown trigger '" +
+                                    trigger + "' in '" + entry + "'");
+    }
+    points[entry.substr(0, colon)] = state;
+  }
+
+  std::lock_guard lock(mutex_);
+  points_ = std::move(points);
+  seed_ = seed;
+  total_fires_.store(0, std::memory_order_relaxed);
+  enabled_.store(!points_.empty(), std::memory_order_relaxed);
+}
+
+void FaultInjector::configure_from_env() {
+  const char* schedule = std::getenv("REPRO_FAULTS");
+  configure(schedule ? schedule : "", default_fault_seed());
+}
+
+void FaultInjector::clear() { configure("", default_fault_seed()); }
+
+bool FaultInjector::fire(std::string_view point) {
+  std::lock_guard lock(mutex_);
+  const auto it = points_.find(point);
+  if (it == points_.end()) return false;
+  PointState& state = it->second;
+  const std::uint64_t hit = ++state.hits;
+  if (state.fires >= state.rule.max_fires) return false;
+
+  bool fires = false;
+  if (state.rule.nth != 0 && hit == state.rule.nth) fires = true;
+  if (state.rule.every != 0 && hit % state.rule.every == 0) fires = true;
+  if (state.rule.probability > 0.0) {
+    const std::uint64_t draw = mix64(seed_ ^ hash_name(point) ^ hit);
+    // Top 53 bits as a uniform double in [0, 1).
+    const double u =
+        static_cast<double>(draw >> 11) * (1.0 / 9007199254740992.0);
+    if (u < state.rule.probability) fires = true;
+  }
+  if (fires) {
+    ++state.fires;
+    total_fires_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return fires;
+}
+
+std::uint64_t FaultInjector::hits(std::string_view point) const {
+  std::lock_guard lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t FaultInjector::fires(std::string_view point) const {
+  std::lock_guard lock(mutex_);
+  const auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.fires;
+}
+
+std::uint64_t FaultInjector::seed() const {
+  std::lock_guard lock(mutex_);
+  return seed_;
+}
+
+}  // namespace repro::util

@@ -1,0 +1,134 @@
+// Deterministic fault injection for the search pipeline.
+//
+// A fault point is a named site that can be told to fail on a seeded,
+// reproducible schedule: on the nth time it is reached, on every kth time,
+// or with a per-hit probability decided by a counter-indexed hash (so the
+// same seed always fails the same hits, regardless of how many threads are
+// racing through the point). Schedules come from the environment
+// (REPRO_FAULTS / REPRO_FAULT_SEED) or from code (core::Config, tests).
+//
+// When no schedule is installed — the production configuration — a fault
+// point is one relaxed atomic load; nothing else happens. Sites on hot
+// paths therefore stay hot, and the chaos CI job can flip the same binary
+// into a hostile environment with an environment variable.
+//
+// Schedule grammar (';'-separated entries, ','-separated triggers):
+//   "simt.alloc:nth=5;core.bin_overflow:every=2;simt.transfer:prob=0.25"
+//   nth=N    fire on the Nth hit only (1-based; 0 = count hits, never fire)
+//   every=K  fire on hits K, 2K, 3K, ...
+//   prob=P   fire each hit with probability P (seeded hash of the hit index)
+//   max=M    stop firing after M fires (combines with any trigger)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace repro::util {
+
+/// What a fired fault point throws when the site does not translate the
+/// failure into a domain-specific error itself.
+class FaultInjectedError : public std::runtime_error {
+ public:
+  explicit FaultInjectedError(std::string point)
+      : std::runtime_error("injected fault at '" + point + "'"),
+        point_(std::move(point)) {}
+  [[nodiscard]] const std::string& point() const { return point_; }
+
+ private:
+  std::string point_;
+};
+
+/// Trigger rule for one named fault point. All-zero = observe only.
+struct FaultRule {
+  std::uint64_t nth = 0;         ///< fire on this hit exactly (1-based)
+  std::uint64_t every = 0;       ///< fire on every multiple of this hit
+  double probability = 0.0;      ///< per-hit Bernoulli, seeded hash
+  std::uint64_t max_fires = ~0ULL;  ///< stop firing after this many
+};
+
+/// The process-wide registry of fault points and their schedules.
+class FaultInjector {
+ public:
+  /// The singleton; first use installs any environment schedule.
+  static FaultInjector& instance();
+
+  /// Replaces the current schedule (see the grammar above). An empty
+  /// schedule disables injection. Throws std::invalid_argument on a
+  /// malformed schedule. Resets all hit/fire counters.
+  void configure(const std::string& schedule, std::uint64_t seed);
+
+  /// Installs REPRO_FAULTS under REPRO_FAULT_SEED (default_seed()).
+  void configure_from_env();
+
+  /// Removes the schedule; fault points return to the disabled fast path.
+  void clear();
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Counts a hit of `point` and decides whether its fault fires. Only
+  /// reached when a schedule is installed.
+  bool fire(std::string_view point);
+
+  [[nodiscard]] std::uint64_t hits(std::string_view point) const;
+  [[nodiscard]] std::uint64_t fires(std::string_view point) const;
+  /// Total fires across all points since the last configure(); monotone, so
+  /// callers can delta it around a region to count faults they absorbed.
+  [[nodiscard]] std::uint64_t total_fires() const {
+    return total_fires_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t seed() const;
+
+ private:
+  FaultInjector() { configure_from_env(); }
+
+  struct PointState {
+    FaultRule rule;
+    std::uint64_t hits = 0;
+    std::uint64_t fires = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, PointState, std::less<>> points_;
+  std::uint64_t seed_ = 1;
+  std::atomic<std::uint64_t> total_fires_{0};
+  std::atomic<bool> enabled_{false};
+};
+
+/// Seed for schedules that don't pin their own: REPRO_FAULT_SEED, else 1.
+[[nodiscard]] std::uint64_t default_fault_seed();
+
+/// The hot-path check every instrumented site calls. Disabled injection
+/// costs a single relaxed load.
+inline bool fault_point(std::string_view point) {
+  FaultInjector& injector = FaultInjector::instance();
+  if (!injector.enabled()) [[likely]]
+    return false;
+  return injector.fire(point);
+}
+
+/// Convenience for sites whose failure mode is simply "throw".
+inline void fault_point_throw(std::string_view point) {
+  if (fault_point(point)) throw FaultInjectedError(std::string(point));
+}
+
+/// RAII schedule installation for tests and Config-driven searches:
+/// configures on construction, restores the environment baseline (usually
+/// the disabled state) on destruction.
+class FaultScope {
+ public:
+  FaultScope(const std::string& schedule, std::uint64_t seed) {
+    FaultInjector::instance().configure(schedule, seed);
+  }
+  ~FaultScope() { FaultInjector::instance().configure_from_env(); }
+  FaultScope(const FaultScope&) = delete;
+  FaultScope& operator=(const FaultScope&) = delete;
+};
+
+}  // namespace repro::util

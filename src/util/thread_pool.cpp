@@ -2,8 +2,31 @@
 
 #include <atomic>
 #include <cassert>
+#include <memory>
+
+#include "util/fault.hpp"
 
 namespace repro::util {
+
+namespace {
+
+/// Joins every future (so no task can still be touching caller state when
+/// we unwind), then rethrows the exception of the first failing future in
+/// submission order — the deterministic-join contract all the parallel_*
+/// entry points share.
+void join_all(std::vector<std::future<void>>& futures) {
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -69,7 +92,7 @@ void ThreadPool::parallel_for(std::size_t n,
       for (std::size_t i = lo; i < hi; ++i) fn(i);
     }));
   }
-  for (auto& f : futures) f.get();
+  join_all(futures);
 }
 
 void ThreadPool::parallel_for_dynamic(
@@ -88,25 +111,31 @@ void ThreadPool::parallel_for_dynamic(
       }
     }));
   }
-  for (auto& f : futures) f.get();
+  join_all(futures);
 }
 
 void ThreadPool::run_shards(std::size_t n,
                             const std::function<void(std::size_t)>& fn) {
   if (n == 0) return;
+  // Once any shard throws, shards that have not started yet are skipped —
+  // their results would be discarded during unwinding anyway, and skipping
+  // them bounds the damage a poisoned launch can do.
+  auto cancelled = std::make_shared<std::atomic<bool>>(false);
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t shard = 0; shard < n; ++shard)
-    futures.push_back(submit([shard, &fn] { fn(shard); }));
-  std::exception_ptr first_error;
-  for (auto& f : futures) {
-    try {
-      f.get();
-    } catch (...) {
-      if (!first_error) first_error = std::current_exception();
-    }
-  }
-  if (first_error) std::rethrow_exception(first_error);
+    futures.push_back(submit([shard, &fn, cancelled] {
+      if (cancelled->load(std::memory_order_relaxed)) return;
+      try {
+        // "util.worker" models a worker thread dying mid-shard.
+        fault_point_throw("util.worker");
+        fn(shard);
+      } catch (...) {
+        cancelled->store(true, std::memory_order_relaxed);
+        throw;
+      }
+    }));
+  join_all(futures);
 }
 
 void ThreadPool::wait_idle() {

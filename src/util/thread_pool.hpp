@@ -34,18 +34,22 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
-  /// Work is distributed in contiguous chunks (static schedule).
+  /// Work is distributed in contiguous chunks (static schedule). Every
+  /// chunk is joined before returning even if one throws; the exception of
+  /// the first failing chunk (submission order) is then rethrown.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
 
   /// Runs fn(i) with a dynamic (work-queue) schedule: each worker repeatedly
   /// grabs the next index. This mirrors NCBI BLAST's per-sequence dispatch.
+  /// Same join-then-rethrow exception contract as parallel_for.
   void parallel_for_dynamic(std::size_t n,
                             const std::function<void(std::size_t)>& fn);
 
   /// Runs fn(shard) for shard in [0, n), one task per shard, and waits for
   /// ALL shards to finish before returning — even when some of them throw.
-  /// If any shard threw, the exception of the lowest-numbered failing shard
-  /// is rethrown after the barrier, so error reporting is deterministic and
+  /// If any shard threw, shards that have not yet started are cancelled
+  /// (skipped), and the exception of the lowest-numbered failing shard is
+  /// rethrown after the barrier, so error reporting is deterministic and
   /// no shard can still be touching caller state during unwinding. This is
   /// the join the SM-sharded SIMT engine uses.
   void run_shards(std::size_t n, const std::function<void(std::size_t)>& fn);

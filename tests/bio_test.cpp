@@ -127,6 +127,63 @@ TEST(Fasta, RoundTripThroughWriter) {
   EXPECT_EQ(back[1].residues, s2.residues);
 }
 
+TEST(Fasta, StrictRejectsEmptyId) {
+  EXPECT_THROW((void)bio::read_fasta_string("> no id\nACDEF\n"),
+               std::invalid_argument);
+  EXPECT_THROW((void)bio::read_fasta_string(">\nACDEF\n"),
+               std::invalid_argument);
+}
+
+TEST(Fasta, LenientMapsUnknownResiduesToX) {
+  bio::FastaWarnings warnings;
+  const auto records = bio::read_fasta_string(
+      ">s\nAC1D?F\n", bio::FastaPolicy::kLenient, &warnings);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(bio::decode_string(records[0].residues), "ACXDXF");
+  EXPECT_EQ(warnings.unknown_residues, 2u);
+  EXPECT_EQ(warnings.total(), 2u);
+}
+
+TEST(Fasta, LenientSkipsEmptyRecords) {
+  bio::FastaWarnings warnings;
+  const auto records = bio::read_fasta_string(
+      ">empty1\n>keep\nACD\n>empty2\n", bio::FastaPolicy::kLenient,
+      &warnings);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].id, "keep");
+  EXPECT_EQ(warnings.empty_records_skipped, 2u);
+}
+
+TEST(Fasta, LenientCountsEmptyIds) {
+  bio::FastaWarnings warnings;
+  const auto records = bio::read_fasta_string(
+      "> anonymous\nACD\n", bio::FastaPolicy::kLenient, &warnings);
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_TRUE(records[0].id.empty());
+  EXPECT_EQ(warnings.empty_ids, 1u);
+}
+
+TEST(Fasta, LenientStillRejectsDataBeforeHeader) {
+  // Structural corruption is not residue noise: both policies throw.
+  EXPECT_THROW(
+      (void)bio::read_fasta_string("ACDEF\n", bio::FastaPolicy::kLenient),
+      std::invalid_argument);
+}
+
+TEST(Fasta, CleanInputIdenticalUnderBothPolicies) {
+  const std::string text = ">seq1 first\nACDEF\n>seq2\nMNPQR\n";
+  bio::FastaWarnings warnings;
+  const auto strict = bio::read_fasta_string(text);
+  const auto lenient =
+      bio::read_fasta_string(text, bio::FastaPolicy::kLenient, &warnings);
+  ASSERT_EQ(strict.size(), lenient.size());
+  for (std::size_t i = 0; i < strict.size(); ++i) {
+    EXPECT_EQ(strict[i].id, lenient[i].id);
+    EXPECT_EQ(strict[i].residues, lenient[i].residues);
+  }
+  EXPECT_EQ(warnings.total(), 0u);
+}
+
 TEST(Fasta, HandlesCrLf) {
   const auto records = bio::read_fasta_string(">s x\r\nACD\r\n");
   ASSERT_EQ(records.size(), 1u);

@@ -327,5 +327,31 @@ TEST(ExtensionKernels, LargeXdropStillMatches) {
   }
 }
 
+TEST(PackHit, RoundTripsAtFieldBoundaries) {
+  // The Fig. 7 layout dedicates 16 bits to the biased diagonal and 16 to
+  // the subject position; the extremes must survive the round trip (the
+  // search() guards reject anything that could not).
+  for (const std::int32_t diag : {-32768, -32767, -1, 0, 1, 32766, 32767})
+    for (const std::uint32_t spos : {0u, 1u, 65534u, 65535u})
+      for (const std::uint32_t seq : {0u, 1u, 0xffffffffu}) {
+        const std::uint64_t packed = core::pack_hit(seq, diag, spos);
+        EXPECT_EQ(core::hit_seq(packed), seq);
+        EXPECT_EQ(core::hit_diagonal(packed), diag);
+        EXPECT_EQ(core::hit_spos(packed), spos);
+      }
+}
+
+TEST(PackHit, AscendingOrderGroupsSeqThenDiagonalThenSpos) {
+  EXPECT_LT(core::pack_hit(1, 32767, 65535), core::pack_hit(2, -32768, 0));
+  EXPECT_LT(core::pack_hit(1, -1, 65535), core::pack_hit(1, 0, 0));
+  EXPECT_LT(core::pack_hit(1, 3, 4), core::pack_hit(1, 3, 5));
+}
+
+TEST(PackHit, QueryPositionRecoveredFromDiagonal) {
+  // qpos = spos - diagonal, including negative diagonals.
+  EXPECT_EQ(core::hit_qpos(core::pack_hit(7, -12, 30)), 42u);
+  EXPECT_EQ(core::hit_qpos(core::pack_hit(7, 30, 30)), 0u);
+}
+
 }  // namespace
 }  // namespace repro

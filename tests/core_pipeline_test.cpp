@@ -340,8 +340,14 @@ TEST(CuBlastp, RejectsOversizedSequences) {
   auto config = base_config();
   std::vector<std::uint8_t> long_query(40000, 0);
   bio::SequenceDatabase db;
-  EXPECT_THROW((void)core::CuBlastp(config).search(long_query, db),
-               std::invalid_argument);
+  try {
+    (void)core::CuBlastp(config).search(long_query, db);
+    FAIL() << "expected core::SearchError";
+  } catch (const core::SearchError& e) {
+    EXPECT_EQ(e.code(), core::SearchErrorCode::kInvalidArgument);
+    EXPECT_NE(std::string(e.what()).find("invalid_argument"),
+              std::string::npos);
+  }
 }
 
 TEST(CuBlastp, RejectsNonPowerOfTwoBins) {

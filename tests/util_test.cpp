@@ -7,6 +7,7 @@
 #include <set>
 #include <vector>
 
+#include "util/fault.hpp"
 #include "util/makespan.hpp"
 #include "util/options.hpp"
 #include "util/rng.hpp"
@@ -208,6 +209,67 @@ TEST(ThreadPool, SubmitReturnsUsableFuture) {
 TEST(ThreadPool, ZeroRequestedBecomesOneWorker) {
   util::ThreadPool pool(0);
   EXPECT_EQ(pool.size(), 1u);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  util::ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(200,
+                                 [](std::size_t i) {
+                                   if (i == 37)
+                                     throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+  // The pool must stay usable after an exceptional round.
+  std::atomic<int> count{0};
+  pool.parallel_for(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, DynamicSchedulePropagatesWorkerException) {
+  util::ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for_dynamic(200,
+                                         [](std::size_t i) {
+                                           if (i == 123)
+                                             throw std::runtime_error("boom");
+                                         }),
+               std::runtime_error);
+  std::atomic<int> count{0};
+  pool.parallel_for_dynamic(50, [&](std::size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, RunShardsRethrowsFirstFailureInSubmissionOrder) {
+  util::ThreadPool pool(2);
+  try {
+    pool.run_shards(8, [](std::size_t shard) {
+      if (shard == 3 || shard == 5)
+        throw std::runtime_error("shard " + std::to_string(shard));
+    });
+    FAIL() << "expected an exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "shard 3");  // deterministic across timings
+  }
+}
+
+TEST(ThreadPool, RunShardsCancelsShardsAfterAFailure) {
+  util::ThreadPool pool(1);  // serial: shard i+1 starts only after shard i
+  std::atomic<int> executed{0};
+  EXPECT_THROW(pool.run_shards(16,
+                               [&](std::size_t shard) {
+                                 if (shard == 0)
+                                   throw std::runtime_error("die");
+                                 executed.fetch_add(1);
+                               }),
+               std::runtime_error);
+  EXPECT_EQ(executed.load(), 0);
+}
+
+TEST(ThreadPool, WorkerFaultPointInjectsIntoShards) {
+  util::FaultScope scope("util.worker:nth=1", 7);
+  util::ThreadPool pool(2);
+  EXPECT_THROW(pool.run_shards(4, [](std::size_t) {}),
+               util::FaultInjectedError);
+  pool.run_shards(4, [](std::size_t) {});  // nth consumed: clean again
 }
 
 TEST(Table, RendersAlignedColumns) {
