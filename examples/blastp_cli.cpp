@@ -4,7 +4,7 @@
 //   ./blastp_cli --query=queries.fasta --db=database.fasta
 //                [--evalue=10] [--engine=cublastp|fsa|ncbi]
 //                [--strategy=window|diagonal|hit] [--threads=4]
-//                [--max_alignments=5] [--lenient]
+//                [--max_alignments=5] [--lenient] [--simtcheck]
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
@@ -31,7 +31,7 @@ int run(int argc, char** argv) {
                  "usage: blastp_cli --query=FASTA --db=FASTA "
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
-                 "[--max_alignments=N] [--lenient]\n");
+                 "[--max_alignments=N] [--lenient] [--simtcheck]\n");
     return 2;
   }
 
@@ -66,10 +66,15 @@ int run(int argc, char** argv) {
   else
     config.strategy = core::ExtensionStrategy::kWindow;
 
+  // --simtcheck runs every kernel under the hazard analyzer (racecheck/
+  // synccheck/memcheck; env REPRO_SIMTCHECK=1 does the same).
+  config.simtcheck = options.has("simtcheck");
+
   const std::string engine_name = options.get("engine", "cublastp");
   const auto max_alignments =
       static_cast<std::size_t>(options.get_int("max_alignments", 5));
 
+  bool hazards_found = false;
   for (const auto& query : queries) {
     std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
                 query.length());
@@ -87,6 +92,11 @@ int run(int argc, char** argv) {
       result = std::move(report.result);
     }
     const double elapsed = timer.seconds();
+    if (engine_name == "cublastp" &&
+        (config.simtcheck || report.hazards.total != 0)) {
+      std::fprintf(stderr, "%s\n", report.hazards.summary().c_str());
+      hazards_found |= report.hazards.total != 0;
+    }
     if (report.degraded())
       std::fprintf(stderr,
                    "blastp_cli: query %s degraded: %llu of %zu blocks fell "
@@ -127,7 +137,9 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     result.counters.gapped_extensions));
   }
-  return 0;
+  // Like cuda-memcheck: correct-looking output still fails the run when
+  // the analyzer found hazards.
+  return hazards_found ? 3 : 0;
 }
 
 }  // namespace

@@ -63,7 +63,7 @@ KernelOutput run_coarse_kernel(simt::Engine& engine,
                                bool dynamic_queue,
                                std::uint32_t output_capacity,
                                std::uint64_t& hits_detected) {
-  const auto params = config.params;
+  const auto& params = config.params;
   const std::uint32_t qlen = query.query_length;
   const auto window = static_cast<std::uint32_t>(params.two_hit_window);
   const std::uint32_t diag_span = qlen + block.max_seq_len + 2;
@@ -364,6 +364,7 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
   simt::Engine engine;
   // These baselines predate Kepler's read-only cache.
   engine.set_readonly_cache_enabled(false);
+  if (config.simtcheck) engine.set_simtcheck_enabled(true);
 
   util::Timer other_timer;
   blast::WordLookup lookup(query, bio::Blosum62::instance(), config.params);
@@ -447,6 +448,7 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
   }
 
   report.profile = engine.profile();
+  report.hazards = engine.hazards();
   report.kernel_ms = report.profile.has(kCoarseKernel)
                          ? report.profile.at(kCoarseKernel).time_ms
                          : 0.0;

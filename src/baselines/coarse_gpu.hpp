@@ -22,6 +22,7 @@
 #include "bio/database.hpp"
 #include "blast/types.hpp"
 #include "simt/metrics.hpp"
+#include "simt/simtcheck.hpp"
 
 namespace repro::baselines {
 
@@ -34,6 +35,9 @@ struct CoarseConfig {
   /// Database blocks (transfers modeled per block, no CPU/GPU overlap —
   /// neither baseline pipelines the way cuBLASTP does).
   std::size_t db_blocks = 4;
+  /// Runs the fused kernel under the simtcheck hazard analyzer and fills
+  /// CoarseReport::hazards (REPRO_SIMTCHECK also enables it).
+  bool simtcheck = false;
 };
 
 /// Report mirroring core::SearchReport's fields relevant to the baselines.
@@ -48,6 +52,7 @@ struct CoarseReport {
   double total_seconds = 0.0;  ///< serial: kernel + transfers + CPU phases
   std::uint64_t output_overflow_retries = 0;
   simt::ProfileRegistry profile;
+  simt::HazardReport hazards;  ///< simtcheck findings (when enabled)
 
   [[nodiscard]] double critical_ms() const { return kernel_ms; }
 };

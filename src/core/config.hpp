@@ -71,6 +71,12 @@ struct Config {
   /// bit-identical results and metrics.
   int engine_workers = 1;
 
+  /// Runs every kernel under the simtcheck hazard analyzer (racecheck/
+  /// synccheck/memcheck; see simt/simtcheck.hpp) and fills
+  /// SearchReport::hazards. false still honours the REPRO_SIMTCHECK
+  /// environment toggle the Engine reads at construction.
+  bool simtcheck = false;
+
   /// Fault-injection schedule installed into util::FaultInjector for the
   /// duration of each search() (see util/fault.hpp for the grammar).
   /// Empty = leave the process-wide (env-driven) schedule untouched.

@@ -4,6 +4,7 @@
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "bio/karlin.hpp"
 #include "bio/pssm.hpp"
@@ -123,7 +124,7 @@ BlockOutcome run_block_on_cpu(const blast::WordLookup& lookup,
 
 }  // namespace
 
-CuBlastp::CuBlastp(Config config) : config_(config) {
+CuBlastp::CuBlastp(Config config) : config_(std::move(config)) {
   if (config_.num_bins_per_warp <= 0 ||
       (config_.num_bins_per_warp & (config_.num_bins_per_warp - 1)) != 0)
     throw std::invalid_argument("num_bins_per_warp must be a power of two");
@@ -162,6 +163,7 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
   simt::Engine engine;
   engine.set_readonly_cache_enabled(config_.use_readonly_cache);
   engine.set_workers(config_.engine_workers);
+  if (config_.simtcheck) engine.set_simtcheck_enabled(true);
 
   // --- query preprocessing (the "Other" phase of Fig. 19d) ---------------
   util::Timer other_timer;
@@ -284,6 +286,7 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   // --- time bookkeeping ----------------------------------------------------
   report.profile = engine.profile();
+  report.hazards = engine.hazards();
   report.detection_ms = kernel_ms(report.profile, kKernelDetection);
   report.scan_ms = kernel_ms(report.profile, kKernelScan);
   report.assemble_ms = kernel_ms(report.profile, kKernelAssemble);

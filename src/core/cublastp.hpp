@@ -45,6 +45,10 @@ struct SearchReport {
   std::uint64_t bin_overflow_retries = 0;
   simt::ProfileRegistry profile;
 
+  /// Hazards found by the simtcheck analyzer (empty unless
+  /// Config::simtcheck or REPRO_SIMTCHECK enabled it; see simtcheck.hpp).
+  simt::HazardReport hazards;
+
   // Degradation-ladder observability (see DESIGN.md §9). A fault-free
   // search has degraded_blocks == 0, all-zero retry_counts, and
   // faults_encountered == 0, so callers can alert on any nonzero value.

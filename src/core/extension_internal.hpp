@@ -43,18 +43,25 @@ inline void emit_records(simt::WarpExec& w, ExtensionRecords& records,
                          const simt::LaneArray<std::uint32_t>& q_start,
                          const simt::LaneArray<std::uint32_t>& q_end,
                          const simt::LaneArray<int>& score) {
-  simt::LaneArray<std::uint32_t> rank{};
-  w.vec([&](int lane) { rank[lane] = emit[lane] != 0 ? 1u : 0u; });
   const simt::Mask mask =
       w.ballot([&](int lane) { return emit[lane] != 0; });
   if (mask == 0) return;
-  w.window_inclusive_scan(rank, 32);
+  // Exclusive compaction rank from the ballot mask (the __ballot_sync +
+  // __popc idiom): each emitting lane counts the emitting lanes below it.
+  // A width-32 shuffle scan here would read inactive peers' registers when
+  // the caller is divergent (this runs inside if_then/loop_while bodies) —
+  // undefined on hardware, and a synccheck divergent-collective hazard.
+  simt::LaneArray<std::uint32_t> rank{};
+  w.vec([&](int lane) {
+    rank[lane] = static_cast<std::uint32_t>(
+        std::popcount(mask & ((simt::Mask{1} << lane) - 1u)));
+  });
   w.if_then(
       [&](int lane) { return ((mask >> lane) & 1u) != 0; },
       [&] {
         simt::LaneArray<std::uint32_t> dst{};
         w.vec([&](int lane) {
-          dst[lane] = region_base + cursor + rank[lane] - 1;
+          dst[lane] = region_base + cursor + rank[lane];
         });
         simt::LaneArray<std::int32_t> sc{};
         w.vec([&](int lane) { sc[lane] = score[lane]; });

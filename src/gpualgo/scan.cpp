@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simt/device_buffer.hpp"
+
 namespace repro::gpualgo {
 
 namespace {
@@ -149,17 +151,31 @@ std::vector<std::uint32_t> exclusive_scan_device(
   std::vector<std::uint32_t> out(input.size() + 1, 0);
   if (input.empty()) return out;
 
+  // Kernel-visible buffers must be device allocations: device-code access
+  // to a plain host vector is what simtcheck's memcheck flags (an invalid
+  // pointer on real hardware). Inputs already inside a device buffer pass
+  // through untouched — keeping whatever (mis)alignment the caller chose —
+  // and anything else is staged, modeling the implicit H2D copy.
+  std::span<const std::uint32_t> in = input;
+  simt::DeviceVector<std::uint32_t> staged;
+  if (!simt::is_device_address(input.data(), input.size_bytes())) {
+    staged.assign(input.begin(), input.end());
+    in = {staged.data(), staged.size()};
+  }
   const int num_tiles =
       static_cast<int>((input.size() + kBlockThreads - 1) / kBlockThreads);
-  std::vector<std::uint32_t> tile_sums(static_cast<std::size_t>(num_tiles));
-  std::vector<std::uint32_t> scanned(input.size());
-  scan_tiles(engine, input, scanned, tile_sums, kernel_name);
+  simt::DeviceVector<std::uint32_t> tile_sums(
+      static_cast<std::size_t>(num_tiles));
+  simt::DeviceVector<std::uint32_t> scanned(input.size());
+  scan_tiles(engine, in, {scanned.data(), scanned.size()},
+             {tile_sums.data(), tile_sums.size()}, kernel_name);
 
   // Scan the per-tile totals (recursively on the device for large inputs,
   // directly for the final small level).
   std::vector<std::uint32_t> tile_offsets;
   if (tile_sums.size() > 1) {
-    tile_offsets = exclusive_scan_device(engine, tile_sums, kernel_name);
+    tile_offsets = exclusive_scan_device(
+        engine, {tile_sums.data(), tile_sums.size()}, kernel_name);
   } else {
     tile_offsets = {0, tile_sums[0]};
   }

@@ -15,6 +15,12 @@
 
 namespace repro::simt {
 
+// Memcheck range table (simtcheck.cpp). Declared here, not included, to
+// keep this header light; every allocation is registered so the hazard
+// analyzer can validate kernel accesses against live buffer extents.
+void register_device_allocation(const void* p, std::size_t bytes);
+void unregister_device_allocation(const void* p) noexcept;
+
 template <class T>
 struct DeviceAllocator {
   using value_type = T;
@@ -31,9 +37,16 @@ struct DeviceAllocator {
         (n * sizeof(T) + kAlignment - 1) / kAlignment * kAlignment;
     void* p = std::aligned_alloc(kAlignment, bytes);
     if (p == nullptr) throw std::bad_alloc();
+    // Register the requested extent (not the rounded one): an off-by-one
+    // past the buffer is then a memcheck hazard, while the physical padding
+    // keeps the simulated access itself memory-safe.
+    register_device_allocation(p, n * sizeof(T));
     return static_cast<T*>(p);
   }
-  void deallocate(T* p, std::size_t) noexcept { std::free(p); }
+  void deallocate(T* p, std::size_t) noexcept {
+    unregister_device_allocation(p);
+    std::free(p);
+  }
 
   template <class U>
   bool operator==(const DeviceAllocator<U>&) const {

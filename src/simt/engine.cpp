@@ -8,7 +8,8 @@
 namespace repro::simt {
 
 Engine::Engine(DeviceSpec spec, CostModel cost)
-    : spec_(spec), cost_(cost) {
+    : spec_(spec), cost_(cost),
+      simtcheck_enabled_(simtcheck_env_enabled()) {
   sm_caches_.reserve(static_cast<std::size_t>(spec_.num_sms));
   for (int i = 0; i < spec_.num_sms; ++i)
     sm_caches_.emplace_back(spec_.readonly_cache_bytes,

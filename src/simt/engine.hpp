@@ -39,6 +39,7 @@
 #include "simt/occupancy.hpp"
 #include "simt/rocache.hpp"
 #include "simt/shared_memory.hpp"
+#include "simt/simtcheck.hpp"
 #include "simt/warp.hpp"
 #include "util/thread_pool.hpp"
 
@@ -63,13 +64,20 @@ class DeviceError : public std::runtime_error {
 class BlockCtx {
  public:
   BlockCtx(KernelStats& stats, ReadOnlyCache* rocache, int block_id,
-           int grid_blocks, int warps_per_block, std::size_t shared_capacity)
+           int grid_blocks, int warps_per_block, std::size_t shared_capacity,
+           BlockChecker* check = nullptr)
       : stats_(&stats),
         rocache_(rocache),
         block_id_(block_id),
         grid_blocks_(grid_blocks),
         warps_per_block_(warps_per_block),
-        shared_(shared_capacity) {}
+        shared_(shared_capacity),
+        check_(check) {
+    if (check_ != nullptr) {
+      check_->attach_shared(shared_.base(), shared_.capacity());
+      shared_.set_checker(check_);
+    }
+  }
 
   [[nodiscard]] int block_id() const { return block_id_; }
   [[nodiscard]] int grid_blocks() const { return grid_blocks_; }
@@ -77,12 +85,16 @@ class BlockCtx {
   [[nodiscard]] SharedMemory& shared() { return shared_; }
 
   /// Runs `region` for every warp of the block, then joins (barrier).
+  /// With the hazard analyzer attached, each region is one barrier epoch
+  /// and every warp's mask is checked at the implicit barrier (synccheck).
   template <class Region>
   void par(Region&& region) {
+    if (check_ != nullptr) check_->begin_region();
     for (int w = 0; w < warps_per_block_; ++w) {
       WarpExec warp(*stats_, rocache_, block_id_, w, warps_per_block_,
-                    grid_blocks_);
+                    grid_blocks_, check_);
       region(warp);
+      if (check_ != nullptr) check_->on_barrier(w, warp.active_mask());
     }
   }
 
@@ -93,6 +105,7 @@ class BlockCtx {
   int grid_blocks_;
   int warps_per_block_;
   SharedMemory shared_;
+  BlockChecker* check_;
 };
 
 class Engine {
@@ -115,6 +128,17 @@ class Engine {
   void set_workers(int workers);
   [[nodiscard]] int workers() const { return workers_; }
 
+  /// Enables the simtcheck hazard analyzer (racecheck/synccheck/memcheck;
+  /// see simtcheck.hpp). Defaults to the REPRO_SIMTCHECK environment
+  /// toggle. Disabled, instrumentation is one predictable branch per op
+  /// and every metric stays bit-identical.
+  void set_simtcheck_enabled(bool enabled) { simtcheck_enabled_ = enabled; }
+  [[nodiscard]] bool simtcheck_enabled() const { return simtcheck_enabled_; }
+
+  /// Hazards accumulated across every checked launch of this engine.
+  [[nodiscard]] const HazardReport& hazards() const { return hazards_; }
+  void clear_hazards() { hazards_.clear(); }
+
   /// Launches a kernel and returns its measured stats (time filled in by
   /// the cost model, occupancy from the launch shape and the shared-memory
   /// high-water mark). Also accumulates into the profile registry.
@@ -123,6 +147,13 @@ class Engine {
     const int warps_per_block = validate_launch(config);
     KernelStats stats = begin_stats(config);
     std::size_t shared_high_water = 0;
+
+    // Opt-in hazard analyzer: one slot per block so any worker schedule
+    // produces the same report (merged in block-id order in finalize()).
+    std::unique_ptr<LaunchChecker> checker;
+    if (simtcheck_enabled_)
+      checker =
+          std::make_unique<LaunchChecker>(config.name, config.grid_blocks);
 
     const int shards = shard_count(config.grid_blocks);
     if (shards <= 1) {
@@ -133,7 +164,8 @@ class Engine {
                 ? &sm_caches_[static_cast<std::size_t>(b % spec_.num_sms)]
                 : nullptr;
         BlockCtx block(stats, cache, b, config.grid_blocks, warps_per_block,
-                       spec_.shared_mem_per_block);
+                       spec_.shared_mem_per_block,
+                       checker ? &checker->block(b) : nullptr);
         kernel(block);
         shared_high_water =
             std::max(shared_high_water, block.shared().high_water());
@@ -157,7 +189,8 @@ class Engine {
                       : nullptr;
               for (int b = sm; b < config.grid_blocks; b += spec_.num_sms) {
                 BlockCtx block(local, cache, b, config.grid_blocks,
-                               warps_per_block, spec_.shared_mem_per_block);
+                               warps_per_block, spec_.shared_mem_per_block,
+                               checker ? &checker->block(b) : nullptr);
                 kernel(block);
                 high = std::max(high, block.shared().high_water());
               }
@@ -171,6 +204,10 @@ class Engine {
         shared_high_water = std::max(shared_high_water, shard_high[s]);
       }
     }
+
+    // After the join: merge per-block hazards + the cross-block global
+    // store analysis, deterministically, on the launching thread.
+    if (checker) stats.simtcheck_hazards = checker->finalize(hazards_);
 
     return finalize_launch(config, stats, shared_high_water);
   }
@@ -201,10 +238,12 @@ class Engine {
   DeviceSpec spec_;
   CostModel cost_;
   bool rocache_enabled_ = true;
+  bool simtcheck_enabled_ = false;
   int workers_ = 1;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<ReadOnlyCache> sm_caches_;
   ProfileRegistry profile_;
+  HazardReport hazards_;
 };
 
 }  // namespace repro::simt

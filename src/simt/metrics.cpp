@@ -19,6 +19,7 @@ KernelStats& KernelStats::operator+=(const KernelStats& other) {
   shared_conflict_passes += other.shared_conflict_passes;
   atomic_ops += other.atomic_ops;
   atomic_serial_passes += other.atomic_serial_passes;
+  simtcheck_hazards += other.simtcheck_hazards;
   num_blocks += other.num_blocks;
   shared_bytes = std::max(shared_bytes, other.shared_bytes);
   return *this;

@@ -37,6 +37,11 @@ struct KernelStats {
   std::uint64_t atomic_ops = 0;
   std::uint64_t atomic_serial_passes = 0;  ///< address-collision passes
 
+  // Hazard analyzer (simtcheck.hpp): hazards this launch detected.
+  // Always 0 when the checker is disabled, so disabled-mode metrics are
+  // bit-identical to an unchecked build.
+  std::uint64_t simtcheck_hazards = 0;
+
   // Launch shape / resources.
   std::uint64_t num_blocks = 0;
   int block_threads = 0;

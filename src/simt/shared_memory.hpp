@@ -8,46 +8,85 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
+#include <new>
 #include <span>
 #include <stdexcept>
+#include <type_traits>
 #include <vector>
+
+#include "simt/simtcheck.hpp"
 
 namespace repro::simt {
 
 class SharedMemory {
  public:
   explicit SharedMemory(std::size_t capacity_bytes)
-      : storage_(capacity_bytes) {}
+      : storage_(capacity_bytes + alignof(std::max_align_t) - 1),
+        capacity_(capacity_bytes) {
+    // Align the arena base to max_align_t so every offset that alloc()
+    // rounds to alignof(T) is genuinely T-aligned, whatever T is.
+    void* p = storage_.data();
+    std::size_t space = storage_.size();
+    base_ = static_cast<std::uint8_t*>(
+        std::align(alignof(std::max_align_t), capacity_bytes, p, space));
+  }
 
   /// Allocates n elements of T, aligned; value-initialized.
   /// Throws std::bad_alloc-like logic_error when the block's shared budget
   /// is exceeded (a real kernel would fail to launch).
   template <class T>
   std::span<T> alloc(std::size_t n) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "shared memory holds trivially-copyable device types");
     const std::size_t align = alignof(T);
-    std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t offset = (used_ + align - 1) / align * align;
     const std::size_t bytes = n * sizeof(T);
-    if (offset + bytes > storage_.size())
+    if (offset + bytes > capacity_)
       throw std::length_error("SharedMemory: block shared-memory budget "
                               "exceeded");
     used_ = offset + bytes;
     high_water_ = std::max(high_water_, used_);
-    T* base = reinterpret_cast<T*>(storage_.data() + offset);
-    for (std::size_t i = 0; i < n; ++i) base[i] = T{};
+    std::uint8_t* raw = base_ + offset;
+    T* base;
+    if constexpr (std::is_trivially_default_constructible_v<T>) {
+      // Implicit-lifetime T: zero the bytes; the array is implicitly
+      // created in the arena's storage ([intro.object]/10) and launder
+      // yields a usable pointer to it.
+      std::memset(raw, 0, bytes);
+      base = std::launder(reinterpret_cast<T*>(raw));
+    } else {
+      // Non-trivial default construction: start each lifetime explicitly.
+      base = reinterpret_cast<T*>(static_cast<void*>(raw));
+      std::uninitialized_value_construct_n(base, n);
+    }
+    if (check_ != nullptr) check_->on_shared_alloc(used_);
     return {base, n};
   }
 
   [[nodiscard]] std::size_t used() const { return used_; }
   [[nodiscard]] std::size_t high_water() const { return high_water_; }
-  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] const std::uint8_t* base() const { return base_; }
+
+  /// Attaches the hazard analyzer (nullptr detaches; see simtcheck.hpp).
+  void set_checker(BlockChecker* check) { check_ = check; }
 
   /// Releases all allocations (block end); high-water survives.
-  void reset() { used_ = 0; }
+  void reset() {
+    used_ = 0;
+    if (check_ != nullptr) check_->on_shared_reset();
+  }
 
  private:
   std::vector<std::uint8_t> storage_;
+  std::size_t capacity_;
+  std::uint8_t* base_ = nullptr;
   std::size_t used_ = 0;
   std::size_t high_water_ = 0;
+  BlockChecker* check_ = nullptr;
 };
 
 }  // namespace repro::simt

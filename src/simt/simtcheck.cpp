@@ -1,0 +1,423 @@
+#include "simt/simtcheck.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+#include <utility>
+
+#include "simt/device.hpp"
+
+namespace repro::simt {
+
+namespace {
+
+/// Process-wide table of live device allocations, keyed by begin address.
+/// DeviceAllocator registers/unregisters under a mutex; BlockChecker reads
+/// under the same mutex but caches the last hit, so steady-state kernel
+/// accesses rarely take the lock.
+class DeviceMemoryRegistry {
+ public:
+  static DeviceMemoryRegistry& instance() {
+    static DeviceMemoryRegistry registry;
+    return registry;
+  }
+
+  void insert(std::uintptr_t begin, std::uintptr_t end) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ranges_[begin] = end;
+  }
+  void erase(std::uintptr_t begin) noexcept {
+    const std::lock_guard<std::mutex> lock(mu_);
+    ranges_.erase(begin);
+  }
+  /// Returns the [begin, end) allocation containing [addr, addr + bytes),
+  /// or {0, 0} when the access lies in no live allocation.
+  [[nodiscard]] std::pair<std::uintptr_t, std::uintptr_t> find(
+      std::uintptr_t addr, std::size_t bytes) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    auto it = ranges_.upper_bound(addr);
+    if (it == ranges_.begin()) return {0, 0};
+    --it;
+    if (addr >= it->first && addr + bytes <= it->second)
+      return {it->first, it->second};
+    return {0, 0};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::uintptr_t, std::uintptr_t> ranges_;
+};
+
+constexpr std::uintptr_t kGranuleBytes = 8;
+
+}  // namespace
+
+const char* hazard_kind_name(HazardKind kind) {
+  switch (kind) {
+    case HazardKind::kSharedRace: return "shared-race";
+    case HazardKind::kGlobalRace: return "global-race";
+    case HazardKind::kDivergentCollective: return "divergent-collective";
+    case HazardKind::kDivergentBarrier: return "divergent-barrier";
+    case HazardKind::kSharedOutOfBounds: return "shared-oob";
+    case HazardKind::kSharedUseAfterReset: return "shared-use-after-reset";
+    case HazardKind::kGlobalOutOfBounds: return "global-oob";
+  }
+  return "unknown";
+}
+
+void HazardReport::add(HazardRecord record) {
+  ++total;
+  ++by_kind[static_cast<std::size_t>(record.kind)];
+  if (!record.kernel.empty()) ++by_kernel[record.kernel];
+  if (records.size() < kMaxRecords) records.push_back(std::move(record));
+}
+
+void HazardReport::clear() {
+  total = 0;
+  by_kind.fill(0);
+  by_kernel.clear();
+  records.clear();
+  collectives_checked = 0;
+}
+
+std::string HazardReport::summary() const {
+  std::ostringstream out;
+  if (total == 0) {
+    out << "simtcheck: 0 hazards (" << collectives_checked
+        << " collectives checked)";
+    return out.str();
+  }
+  out << "simtcheck: " << total << " hazard" << (total == 1 ? "" : "s");
+  const char* sep = " (";
+  for (int k = 0; k < kNumHazardKinds; ++k) {
+    if (by_kind[static_cast<std::size_t>(k)] == 0) continue;
+    out << sep << hazard_kind_name(static_cast<HazardKind>(k)) << " "
+        << by_kind[static_cast<std::size_t>(k)];
+    sep = ", ";
+  }
+  out << ")";
+  for (const auto& [kernel, count] : by_kernel)
+    out << "\n  kernel '" << kernel << "': " << count;
+  const std::size_t shown = records.size();
+  for (std::size_t i = 0; i < shown; ++i) {
+    const HazardRecord& r = records[i];
+    out << "\n  [" << hazard_kind_name(r.kind) << "] kernel '" << r.kernel
+        << "' block " << r.block;
+    if (r.warp >= 0) out << " warp " << r.warp;
+    if (r.other_warp >= 0) out << " vs warp " << r.other_warp;
+    if (r.other_block >= 0) out << " vs block " << r.other_block;
+    switch (r.kind) {
+      case HazardKind::kSharedRace:
+      case HazardKind::kSharedOutOfBounds:
+      case HazardKind::kSharedUseAfterReset:
+        out << " epoch " << r.epoch << " shared+" << r.byte_offset << " ("
+            << r.extent << " B)";
+        break;
+      case HazardKind::kGlobalRace:
+      case HazardKind::kGlobalOutOfBounds:
+        out << " addr 0x" << std::hex << r.address << std::dec << " ("
+            << r.extent << " B)";
+        break;
+      case HazardKind::kDivergentCollective:
+      case HazardKind::kDivergentBarrier:
+        out << " mask 0x" << std::hex << r.active_mask << std::dec;
+        if (r.width > 0) out << " width " << r.width;
+        break;
+    }
+    if (!r.detail.empty()) out << " [" << r.detail << "]";
+  }
+  if (total > shown)
+    out << "\n  ... and " << (total - shown) << " more";
+  return out.str();
+}
+
+void register_device_allocation(const void* p, std::size_t bytes) {
+  const auto begin = reinterpret_cast<std::uintptr_t>(p);
+  DeviceMemoryRegistry::instance().insert(begin, begin + bytes);
+}
+
+void unregister_device_allocation(const void* p) noexcept {
+  DeviceMemoryRegistry::instance().erase(
+      reinterpret_cast<std::uintptr_t>(p));
+}
+
+bool is_device_address(const void* p, std::size_t bytes) {
+  return DeviceMemoryRegistry::instance()
+             .find(reinterpret_cast<std::uintptr_t>(p), bytes)
+             .second != 0;
+}
+
+bool simtcheck_env_enabled() {
+  const char* value = std::getenv("REPRO_SIMTCHECK");
+  if (value == nullptr) return false;
+  const std::string v(value);
+  return !(v.empty() || v == "0" || v == "false" || v == "off");
+}
+
+// ---------------------------------------------------------------------------
+// BlockChecker
+
+HazardRecord BlockChecker::make_record(HazardKind kind, int warp) const {
+  HazardRecord record;
+  record.kind = kind;
+  record.block = block_id_;
+  record.warp = warp;
+  record.epoch = epoch_;
+  return record;
+}
+
+void BlockChecker::on_barrier(int warp, std::uint32_t mask) {
+  if (mask == 0xffffffffu) return;
+  HazardRecord record = make_record(HazardKind::kDivergentBarrier, warp);
+  record.active_mask = mask;
+  record.detail = "warp reached the implicit par() barrier divergent";
+  report(std::move(record));
+}
+
+void BlockChecker::on_collective(int warp, std::uint32_t mask, int width,
+                                 const char* what) {
+  ++local_.collectives_checked;
+  // Window collectives read peer lanes within each width-lane window
+  // (warp.hpp documents the window-uniform mask assumption), so a window
+  // that is neither fully active nor fully inactive makes an active lane
+  // read an inactive peer — undefined on hardware. Fully inactive windows
+  // are fine: none of their lanes execute.
+  if (width <= 0) return;
+  const auto m = static_cast<std::uint64_t>(mask);
+  bool divergent = false;
+  for (int base = 0; base < kWarpSize; base += width) {
+    const std::uint64_t full =
+        (std::uint64_t{1} << std::min(width, kWarpSize - base)) - 1;
+    const std::uint64_t window = (m >> base) & full;
+    if (window != 0 && window != full) {
+      divergent = true;
+      break;
+    }
+  }
+  if (!divergent) return;
+  HazardRecord record = make_record(HazardKind::kDivergentCollective, warp);
+  record.active_mask = mask;
+  record.width = width;
+  record.detail = what;
+  report(std::move(record));
+}
+
+void BlockChecker::shared_access(int warp, std::uintptr_t addr,
+                                 std::size_t bytes, AccessKind kind,
+                                 bool span_oob) {
+  const std::uint64_t offset = addr - shared_base_;
+  // Memcheck first: indexing past the owning span, or touching arena space
+  // that is not currently allocated (past used_, or released by reset()).
+  if (span_oob || offset + bytes > shared_used_) {
+    const bool after_reset = !span_oob && shared_reset_seen_;
+    HazardRecord record = make_record(
+        after_reset ? HazardKind::kSharedUseAfterReset
+                    : HazardKind::kSharedOutOfBounds,
+        warp);
+    record.byte_offset = offset;
+    record.extent = bytes;
+    record.detail = span_oob ? "index past the shared span"
+                             : (after_reset ? "arena released by reset()"
+                                            : "access past the live arena");
+    report(std::move(record));
+    return;  // don't feed out-of-bounds bytes into the race shadow
+  }
+
+  if (shadow_.empty()) shadow_.resize(shared_capacity_);
+  const auto w = static_cast<std::int8_t>(warp);
+  bool raced = false;
+  int other = -1;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    ShadowByte& s = shadow_[static_cast<std::size_t>(offset) + i];
+    if (kind == AccessKind::kRead) {
+      // Read vs same-epoch other-warp write (atomic or plain): the read is
+      // unordered with the write until the next barrier.
+      if (!raced && s.write_epoch == epoch_ && s.write_warp >= 0 &&
+          s.write_warp != w) {
+        raced = true;
+        other = s.write_warp;
+      }
+      s.read_epoch = epoch_;
+      s.read_warp = w;
+    } else {
+      const bool atomic = kind == AccessKind::kAtomic;
+      // Write vs same-epoch other-warp write — unless both are atomic,
+      // which hardware orders. Then write vs same-epoch other-warp read.
+      if (!raced && s.write_epoch == epoch_ && s.write_warp >= 0 &&
+          s.write_warp != w && !(atomic && s.write_atomic)) {
+        raced = true;
+        other = s.write_warp;
+      }
+      if (!raced && s.read_epoch == epoch_ && s.read_warp >= 0 &&
+          s.read_warp != w) {
+        raced = true;
+        other = s.read_warp;
+      }
+      s.write_epoch = epoch_;
+      s.write_warp = w;
+      s.write_atomic = atomic;
+    }
+  }
+  if (!raced) return;
+  HazardRecord record = make_record(HazardKind::kSharedRace, warp);
+  record.other_warp = other;
+  record.byte_offset = offset;
+  record.extent = bytes;
+  report(std::move(record));
+}
+
+void BlockChecker::global_access(int warp, std::uintptr_t addr,
+                                 std::size_t bytes, AccessKind kind) {
+  // Memcheck: the access must sit inside one live device allocation. The
+  // one-entry cache makes the common (coalesced, same-buffer) case lock-free.
+  if (addr < bounds_cache_begin_ || addr + bytes > bounds_cache_end_) {
+    const auto range = DeviceMemoryRegistry::instance().find(addr, bytes);
+    if (range.second == 0) {
+      HazardRecord record = make_record(HazardKind::kGlobalOutOfBounds, warp);
+      record.address = addr;
+      record.extent = bytes;
+      record.detail = "no registered device allocation covers this access";
+      report(std::move(record));
+      return;
+    }
+    bounds_cache_begin_ = range.first;
+    bounds_cache_end_ = range.second;
+  }
+
+  if (kind == AccessKind::kRead) return;
+  // Racecheck (global): remember which bytes this block wrote, and how.
+  // Cross-block collisions are found after the launch, in block-id order.
+  const std::uint8_t bit_kind = kind == AccessKind::kAtomic ? 1 : 0;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    const std::uintptr_t byte = addr + i;
+    GranuleWrites& g = global_writes_[byte / kGranuleBytes];
+    const auto bit = static_cast<std::uint8_t>(1u << (byte % kGranuleBytes));
+    if (bit_kind != 0)
+      g.atomic |= bit;
+    else
+      g.plain |= bit;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// LaunchChecker
+
+LaunchChecker::LaunchChecker(std::string kernel, int grid_blocks)
+    : kernel_(std::move(kernel)) {
+  blocks_.reserve(static_cast<std::size_t>(grid_blocks));
+  for (int b = 0; b < grid_blocks; ++b) blocks_.emplace_back(b);
+}
+
+std::uint64_t LaunchChecker::finalize(HazardReport& sink) {
+  std::uint64_t found = 0;
+  for (BlockChecker& block : blocks_) {
+    HazardReport& local = block.local_;
+    found += local.total;
+    sink.collectives_checked += local.collectives_checked;
+    if (!kernel_.empty()) sink.by_kernel[kernel_] += local.total;
+    sink.total += local.total;
+    for (int k = 0; k < kNumHazardKinds; ++k)
+      sink.by_kind[static_cast<std::size_t>(k)] +=
+          local.by_kind[static_cast<std::size_t>(k)];
+    for (HazardRecord& record : local.records) {
+      if (sink.records.size() >= HazardReport::kMaxRecords) break;
+      record.kernel = kernel_;
+      sink.records.push_back(std::move(record));
+    }
+  }
+  find_cross_block_races(sink, found);
+  return found;
+}
+
+void LaunchChecker::find_cross_block_races(HazardReport& sink,
+                                           std::uint64_t& found) {
+  // Per byte (tracked per 8-byte granule with byte masks): the first two
+  // distinct plain-writer blocks and the first two distinct atomic-writer
+  // blocks, discovered in block-id order so attribution is deterministic.
+  struct ByteWriters {
+    std::array<std::int32_t, 8> plain0;
+    std::array<std::int32_t, 8> plain1;
+    std::array<std::int32_t, 8> atomic0;
+    std::array<std::int32_t, 8> atomic1;
+    ByteWriters() {
+      plain0.fill(-1);
+      plain1.fill(-1);
+      atomic0.fill(-1);
+      atomic1.fill(-1);
+    }
+  };
+  std::unordered_map<std::uintptr_t, ByteWriters> merged;
+  for (std::size_t b = 0; b < blocks_.size(); ++b) {
+    const auto block = static_cast<std::int32_t>(b);
+    for (const auto& [granule, writes] : blocks_[b].global_writes_) {
+      ByteWriters& w = merged[granule];
+      for (std::size_t byte = 0; byte < 8; ++byte) {
+        const auto bit = static_cast<std::uint8_t>(1u << byte);
+        if ((writes.plain & bit) != 0) {
+          if (w.plain0[byte] < 0)
+            w.plain0[byte] = block;
+          else if (w.plain1[byte] < 0 && w.plain0[byte] != block)
+            w.plain1[byte] = block;
+        }
+        if ((writes.atomic & bit) != 0) {
+          if (w.atomic0[byte] < 0)
+            w.atomic0[byte] = block;
+          else if (w.atomic1[byte] < 0 && w.atomic0[byte] != block)
+            w.atomic1[byte] = block;
+        }
+      }
+    }
+  }
+
+  // Collect the offending bytes with their block pair, sort by address, and
+  // coalesce adjacent bytes with the same pair into one record each — a
+  // racing uint32 store reports once, not four times.
+  struct Offender {
+    std::uintptr_t addr;
+    std::int32_t block_a;
+    std::int32_t block_b;
+  };
+  std::vector<Offender> offenders;
+  for (const auto& [granule, w] : merged) {
+    for (std::size_t byte = 0; byte < 8; ++byte) {
+      const std::int32_t p0 = w.plain0[byte];
+      if (p0 < 0) continue;  // atomic-only (or unwritten) byte: no hazard
+      std::int32_t other = -1;
+      if (w.plain1[byte] >= 0) {
+        other = w.plain1[byte];
+      } else if (w.atomic0[byte] >= 0 && w.atomic0[byte] != p0) {
+        other = w.atomic0[byte];
+      } else if (w.atomic1[byte] >= 0 && w.atomic1[byte] != p0) {
+        other = w.atomic1[byte];
+      }
+      if (other < 0) continue;
+      offenders.push_back({granule * kGranuleBytes + byte, p0, other});
+    }
+  }
+  std::sort(offenders.begin(), offenders.end(),
+            [](const Offender& a, const Offender& b) {
+              return a.addr < b.addr;
+            });
+  std::size_t i = 0;
+  while (i < offenders.size()) {
+    std::size_t j = i + 1;
+    while (j < offenders.size() &&
+           offenders[j].addr == offenders[j - 1].addr + 1 &&
+           offenders[j].block_a == offenders[i].block_a &&
+           offenders[j].block_b == offenders[i].block_b)
+      ++j;
+    HazardRecord record;
+    record.kind = HazardKind::kGlobalRace;
+    record.kernel = kernel_;
+    record.block = offenders[i].block_b;
+    record.other_block = offenders[i].block_a;
+    record.address = offenders[i].addr;
+    record.extent = j - i;
+    record.detail = "plain stores from different blocks overlap";
+    sink.add(std::move(record));
+    ++found;
+    i = j;
+  }
+}
+
+}  // namespace repro::simt

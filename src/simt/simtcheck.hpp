@@ -1,0 +1,206 @@
+// simtcheck: a racecheck/synccheck/memcheck-style hazard analyzer for the
+// software SIMT engine (the cuda-memcheck tool family, re-homed).
+//
+// The engine executes the warps of a block *serially* inside BlockCtx::par,
+// so a kernel with a genuine inter-warp shared-memory race, a collective
+// under a divergent mask, or an un-atomic cross-block global store produces
+// correct results here while being broken on a real GPU. This analyzer
+// makes those latent hazards visible:
+//
+//  - Racecheck (shared): every byte of the shared-memory arena carries
+//    shadow state (last writer/reader warp, last access epoch, atomicity).
+//    BlockCtx::par advances a barrier epoch per region; a write paired with
+//    any other-warp access to the same byte in the same epoch is a race —
+//    the two accesses are unordered between barriers on hardware.
+//  - Racecheck (global): plain (non-atomic) stores are tracked per block at
+//    byte granularity; after the launch, bytes written plainly by two
+//    different blocks (or plainly by one and atomically by another) are
+//    cross-block races. Atomic/atomic collisions are fine.
+//  - Synccheck: window collectives record the active mask; a window that is
+//    partially active reads inactive peers' registers — undefined on
+//    hardware (warp.hpp documents the window-uniform assumption). The
+//    implicit par() barrier likewise flags a warp arriving divergent.
+//  - Memcheck: accesses past a shared span, into a released (reset())
+//    arena, or outside any registered DeviceAllocator allocation.
+//
+// Determinism: hazards are detected per block (blocks run on exactly one
+// worker each; warps within a block run serially in warp order) and merged
+// in block-id order after the launch, so counts and records are
+// bit-identical for any engine worker count. When the checker is disabled,
+// every instrumentation site is a single `if (check_ != nullptr)` test on
+// the hot path and no counter changes — metrics and the cost model stay
+// bit-identical to an unchecked build.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace repro::simt {
+
+enum class HazardKind {
+  kSharedRace = 0,        ///< same-epoch inter-warp shared conflict
+  kGlobalRace,            ///< cross-block plain-store collision
+  kDivergentCollective,   ///< window collective under a partial window mask
+  kDivergentBarrier,      ///< warp reached the par() barrier divergent
+  kSharedOutOfBounds,     ///< access past a shared span / the live arena
+  kSharedUseAfterReset,   ///< access into arena space released by reset()
+  kGlobalOutOfBounds,     ///< access outside every registered device buffer
+};
+inline constexpr int kNumHazardKinds = 7;
+
+[[nodiscard]] const char* hazard_kind_name(HazardKind kind);
+
+/// How an instrumented access touches memory (shadow-state input).
+enum class AccessKind : std::uint8_t { kRead = 0, kWrite, kAtomic };
+
+/// One detailed hazard: enough to point at the offending kernel source.
+struct HazardRecord {
+  HazardKind kind = HazardKind::kSharedRace;
+  std::string kernel;
+  int block = -1;       ///< block that detected the hazard (second accessor)
+  int warp = -1;        ///< warp of the detecting access (-1 if n/a)
+  int other_warp = -1;  ///< conflicting warp (shared races)
+  int other_block = -1; ///< conflicting block (global races)
+  std::uint32_t epoch = 0;        ///< barrier epoch (shared hazards)
+  std::uint64_t byte_offset = 0;  ///< shared-arena byte offset
+  std::uintptr_t address = 0;     ///< global address (0 for shared hazards)
+  std::size_t extent = 0;         ///< bytes covered by the hazard
+  std::uint32_t active_mask = 0;  ///< divergence hazards: the mask seen
+  int width = 0;                  ///< collective window width
+  std::string detail;             ///< e.g. the collective's name
+};
+
+/// Accumulated hazards: per-kind and per-kernel counts plus the first few
+/// detailed records (the cuda-memcheck "first N errors" contract).
+struct HazardReport {
+  static constexpr std::size_t kMaxRecords = 64;
+
+  std::uint64_t total = 0;
+  std::array<std::uint64_t, kNumHazardKinds> by_kind{};
+  std::map<std::string, std::uint64_t> by_kernel;
+  std::vector<HazardRecord> records;  ///< first kMaxRecords, in detection order
+  std::uint64_t collectives_checked = 0;  ///< synccheck coverage counter
+
+  [[nodiscard]] std::uint64_t count(HazardKind kind) const {
+    return by_kind[static_cast<std::size_t>(kind)];
+  }
+  void add(HazardRecord record);
+  void clear();
+  /// Human-readable multi-line summary (empty-report safe).
+  [[nodiscard]] std::string summary() const;
+};
+
+/// Registers a live DeviceAllocator allocation with the memcheck range
+/// table. Called by DeviceAllocator for every allocation, checker or not
+/// (the cost is one mutex-guarded map update per cudaMalloc analogue).
+void register_device_allocation(const void* p, std::size_t bytes);
+void unregister_device_allocation(const void* p) noexcept;
+
+/// True iff [p, p + bytes) lies inside one live device allocation. Lets
+/// host-side launchers decide whether a caller's buffer needs staging into
+/// a DeviceVector before kernels may touch it.
+[[nodiscard]] bool is_device_address(const void* p, std::size_t bytes);
+
+/// Reads REPRO_SIMTCHECK from the environment ("1"/"true"/"on" enable).
+[[nodiscard]] bool simtcheck_env_enabled();
+
+/// Per-block analyzer state. Each block runs on exactly one worker and its
+/// warps run serially, so no locking is needed; results merge in block-id
+/// order inside LaunchChecker::finalize.
+class BlockChecker {
+ public:
+  explicit BlockChecker(int block_id) : block_id_(block_id) {}
+
+  // -- wiring (BlockCtx / SharedMemory) ----------------------------------
+  void attach_shared(const std::uint8_t* base, std::size_t capacity) {
+    shared_base_ = reinterpret_cast<std::uintptr_t>(base);
+    shared_capacity_ = capacity;
+  }
+  void on_shared_alloc(std::size_t used) { shared_used_ = used; }
+  void on_shared_reset() {
+    shared_used_ = 0;
+    shared_reset_seen_ = true;
+  }
+
+  // -- synccheck ---------------------------------------------------------
+  void begin_region() { ++epoch_; }
+  void on_barrier(int warp, std::uint32_t mask);
+  void on_collective(int warp, std::uint32_t mask, int width,
+                     const char* what);
+
+  // -- racecheck + memcheck: shared arena --------------------------------
+  /// An active lane touched [addr, addr + bytes) of the shared arena.
+  /// `span_oob` marks an index already past the owning span's extent.
+  void shared_access(int warp, std::uintptr_t addr, std::size_t bytes,
+                     AccessKind kind, bool span_oob);
+
+  // -- racecheck + memcheck: global buffers ------------------------------
+  void global_access(int warp, std::uintptr_t addr, std::size_t bytes,
+                     AccessKind kind);
+
+ private:
+  friend class LaunchChecker;
+
+  struct ShadowByte {
+    std::uint32_t write_epoch = 0;
+    std::uint32_t read_epoch = 0;
+    std::int8_t write_warp = -1;
+    std::int8_t read_warp = -1;
+    bool write_atomic = false;
+  };
+
+  /// Per-8-byte-granule plain/atomic write masks (one bit per byte).
+  /// DeviceAllocator aligns to 128 bytes, so a granule never spans two
+  /// allocations; byte masks keep adjacent-element writes from aliasing.
+  struct GranuleWrites {
+    std::uint8_t plain = 0;
+    std::uint8_t atomic = 0;
+  };
+
+  HazardRecord make_record(HazardKind kind, int warp) const;
+  void report(HazardRecord record) { local_.add(std::move(record)); }
+
+  int block_id_;
+  std::uint32_t epoch_ = 0;
+  std::uintptr_t shared_base_ = 0;
+  std::size_t shared_capacity_ = 0;
+  std::size_t shared_used_ = 0;
+  bool shared_reset_seen_ = false;
+  std::vector<ShadowByte> shadow_;  ///< lazily sized to the arena capacity
+
+  std::unordered_map<std::uintptr_t, GranuleWrites> global_writes_;
+  std::uintptr_t bounds_cache_begin_ = 0;  ///< last allocation hit
+  std::uintptr_t bounds_cache_end_ = 0;
+
+  HazardReport local_;
+};
+
+/// Per-launch analyzer: one BlockChecker slot per block (workers touch
+/// disjoint slots), plus the post-launch cross-block store analysis.
+class LaunchChecker {
+ public:
+  LaunchChecker(std::string kernel, int grid_blocks);
+
+  [[nodiscard]] BlockChecker& block(int b) {
+    return blocks_[static_cast<std::size_t>(b)];
+  }
+
+  /// Merges per-block hazards in block-id order, runs the cross-block
+  /// global race analysis, and appends everything into `sink`. Returns the
+  /// number of hazards this launch contributed.
+  std::uint64_t finalize(HazardReport& sink);
+
+ private:
+  void find_cross_block_races(HazardReport& sink, std::uint64_t& found);
+
+  std::string kernel_;
+  std::vector<BlockChecker> blocks_;
+};
+
+}  // namespace repro::simt

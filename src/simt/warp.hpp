@@ -21,6 +21,7 @@
 
 #include "simt/metrics.hpp"
 #include "simt/rocache.hpp"
+#include "simt/simtcheck.hpp"
 
 namespace repro::simt {
 
@@ -35,13 +36,15 @@ enum class MemKind { kGlobal, kReadOnly };
 class WarpExec {
  public:
   WarpExec(KernelStats& stats, ReadOnlyCache* rocache, int block_id,
-           int warp_in_block, int warps_per_block, int grid_blocks)
+           int warp_in_block, int warps_per_block, int grid_blocks,
+           BlockChecker* check = nullptr)
       : stats_(&stats),
         rocache_(rocache),
         block_id_(block_id),
         warp_in_block_(warp_in_block),
         warps_per_block_(warps_per_block),
-        grid_blocks_(grid_blocks) {}
+        grid_blocks_(grid_blocks),
+        check_(check) {}
 
   // --- identity -----------------------------------------------------------
   [[nodiscard]] int block_id() const { return block_id_; }
@@ -142,6 +145,7 @@ class WarpExec {
   template <class T, class I>
   void gather(const T* base, const LaneArray<I>& idx, LaneArray<T>& out,
               MemKind kind = MemKind::kGlobal) {
+    if (check_ != nullptr) check_global(base, idx, AccessKind::kRead);
     note_op();
     ++stats_->ld_requests;
     begin_segments();
@@ -159,6 +163,7 @@ class WarpExec {
   /// one legal CUDA outcome).
   template <class T, class I>
   void scatter(T* base, const LaneArray<I>& idx, const LaneArray<T>& vals) {
+    if (check_ != nullptr) check_global(base, idx, AccessKind::kWrite);
     note_op();
     ++stats_->st_requests;
     begin_segments();
@@ -181,6 +186,7 @@ class WarpExec {
   template <class T, class I>
   void atomic_add_global(T* base, const LaneArray<I>& idx,
                          const LaneArray<T>& vals, LaneArray<T>& old) {
+    if (check_ != nullptr) check_global(base, idx, AccessKind::kAtomic);
     note_op();
     ++stats_->atomic_ops;
     begin_segments();
@@ -196,6 +202,8 @@ class WarpExec {
   template <class T, class I>
   void sh_gather(std::span<const T> region, const LaneArray<I>& idx,
                  LaneArray<T>& out) {
+    if (check_ != nullptr)
+      check_shared(region.data(), region.size(), idx, AccessKind::kRead);
     note_op();
     ++stats_->shared_ops;
     // Single pass: move the data and tally bank pressure together.
@@ -215,6 +223,8 @@ class WarpExec {
   template <class T, class I>
   void sh_scatter(std::span<T> region, const LaneArray<I>& idx,
                   const LaneArray<T>& vals) {
+    if (check_ != nullptr)
+      check_shared(region.data(), region.size(), idx, AccessKind::kWrite);
     note_op();
     ++stats_->shared_ops;
     std::array<std::uint8_t, kWarpSize> bank_load{};
@@ -235,6 +245,8 @@ class WarpExec {
   template <class T, class I>
   void atomic_add_shared(std::span<T> region, const LaneArray<I>& idx,
                          const LaneArray<T>& vals, LaneArray<T>& old) {
+    if (check_ != nullptr)
+      check_shared(region.data(), region.size(), idx, AccessKind::kAtomic);
     note_op();
     ++stats_->shared_ops;
     ++stats_->atomic_ops;
@@ -249,6 +261,9 @@ class WarpExec {
   /// window-based extension uses width 8). Charged log2(width) steps.
   template <class T>
   void window_inclusive_scan(LaneArray<T>& vals, int width) {
+    if (check_ != nullptr)
+      check_->on_collective(warp_in_block_, active_, width,
+                            "window_inclusive_scan");
     for (int delta = 1; delta < width; delta <<= 1) {
       note_op();
       LaneArray<T> prev = vals;
@@ -265,6 +280,9 @@ class WarpExec {
   /// the running best score per position (paper Fig. 8's "highest score").
   template <class T>
   void window_inclusive_max_scan(LaneArray<T>& vals, int width) {
+    if (check_ != nullptr)
+      check_->on_collective(warp_in_block_, active_, width,
+                            "window_inclusive_max_scan");
     for (int delta = 1; delta < width; delta <<= 1) {
       note_op();
       LaneArray<T> prev = vals;
@@ -283,6 +301,9 @@ class WarpExec {
   /// value, which on hardware would be undefined.
   template <class T>
   void window_reduce_max(LaneArray<T>& vals, int width) {
+    if (check_ != nullptr)
+      check_->on_collective(warp_in_block_, active_, width,
+                            "window_reduce_max");
     for (int delta = width / 2; delta >= 1; delta >>= 1) {
       note_op();
       LaneArray<T> prev = vals;
@@ -311,6 +332,8 @@ class WarpExec {
   /// Shuffle-up by delta within windows.
   template <class T>
   void shfl_up(LaneArray<T>& vals, int delta, int width = kWarpSize) {
+    if (check_ != nullptr)
+      check_->on_collective(warp_in_block_, active_, width, "shfl_up");
     note_op();
     LaneArray<T> prev = vals;
     for_active([&](int lane) {
@@ -321,6 +344,34 @@ class WarpExec {
   }
 
  private:
+  // --- simtcheck instrumentation (cold; reached only with a checker) ------
+  // ballot/if_then/loop_while are deliberately not flagged: predication via
+  // __ballot_sync is mask-safe on hardware. Only ops that read peer lanes
+  // (the window collectives) or touch memory feed the analyzer.
+  template <class T, class I>
+  void check_global(const T* base, const LaneArray<I>& idx, AccessKind kind) {
+    for_active([&](int lane) {
+      const auto addr =
+          reinterpret_cast<std::uintptr_t>(base) +
+          static_cast<std::uintptr_t>(idx[static_cast<std::size_t>(lane)]) *
+              sizeof(T);
+      check_->global_access(warp_in_block_, addr, sizeof(T), kind);
+    });
+  }
+
+  template <class T, class I>
+  void check_shared(const T* data, std::size_t size, const LaneArray<I>& idx,
+                    AccessKind kind) {
+    for_active([&](int lane) {
+      const auto j =
+          static_cast<std::size_t>(idx[static_cast<std::size_t>(lane)]);
+      const auto addr = reinterpret_cast<std::uintptr_t>(data) +
+                        static_cast<std::uintptr_t>(j) * sizeof(T);
+      check_->shared_access(warp_in_block_, addr, sizeof(T), kind,
+                            /*span_oob=*/j >= size);
+    });
+  }
+
   template <class F>
   void for_active(F&& f) {
     // Fast path: converged warps (the common case by far) take a straight
@@ -419,6 +470,7 @@ class WarpExec {
   int warp_in_block_;
   int warps_per_block_;
   int grid_blocks_;
+  BlockChecker* check_;
   Mask active_ = kFullMask;
 
   std::array<std::uintptr_t, kWarpSize> segments_{};

@@ -1,0 +1,176 @@
+// SimtCheckClean: every production kernel — hit detection, binning/
+// sorting/filtering, all three ungapped-extension strategies, the gapped
+// ablation kernel, and both coarse-grained baselines — must run under the
+// simtcheck hazard analyzer with zero findings, serial and SM-sharded.
+// The analyzer's false-positive budget is zero, and a regression that
+// introduces a real hazard (like the divergent scan it caught in
+// emit_records) fails here before it ships.
+//
+// Also pins the disabled-mode contract: running with the checker on must
+// not perturb results or any measured metric (bit-identical KernelStats).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/coarse_gpu.hpp"
+#include "bio/generator.hpp"
+#include "bio/pssm.hpp"
+#include "blast/ungapped.hpp"
+#include "blast/wordlookup.hpp"
+#include "core/cublastp.hpp"
+#include "core/device_data.hpp"
+#include "core/gapped_kernel.hpp"
+
+namespace repro {
+namespace {
+
+struct PipelineFixture {
+  std::vector<std::uint8_t> query;
+  bio::SequenceDatabase db;
+
+  PipelineFixture() {
+    query = bio::make_benchmark_query(150).residues;
+    auto profile = bio::DatabaseProfile::swissprot_like(50);
+    profile.homolog_fraction = 0.25;
+    bio::DatabaseGenerator gen(profile, 4242);
+    db = gen.generate(query);
+  }
+};
+
+void expect_same_result(const blast::SearchResult& a,
+                        const blast::SearchResult& b) {
+  ASSERT_EQ(a.alignments.size(), b.alignments.size());
+  for (std::size_t i = 0; i < a.alignments.size(); ++i) {
+    EXPECT_EQ(a.alignments[i].seq, b.alignments[i].seq) << "alignment " << i;
+    EXPECT_EQ(a.alignments[i].bit_score, b.alignments[i].bit_score)
+        << "alignment " << i;
+  }
+}
+
+// `address_free` additionally compares the quantities that depend on
+// absolute heap addresses: the read-only cache is direct-mapped over real
+// pointers, so the checker's own allocations shifting the heap layout can
+// legitimately change its conflict pattern (and the modeled time derived
+// from it) — the same way cuda-memcheck perturbs caches and timing on real
+// hardware. Every other counter depends only on offsets within 128-byte-
+// aligned device buffers and must be bit-identical.
+void expect_same_stats(const simt::KernelStats& a, const simt::KernelStats& b,
+                       bool address_free) {
+  EXPECT_EQ(a.vec_ops, b.vec_ops) << a.name;
+  EXPECT_EQ(a.active_lane_sum, b.active_lane_sum) << a.name;
+  EXPECT_EQ(a.ld_requests, b.ld_requests) << a.name;
+  EXPECT_EQ(a.ld_bytes_requested, b.ld_bytes_requested) << a.name;
+  EXPECT_EQ(a.st_requests, b.st_requests) << a.name;
+  EXPECT_EQ(a.st_bytes_requested, b.st_bytes_requested) << a.name;
+  EXPECT_EQ(a.st_transactions, b.st_transactions) << a.name;
+  EXPECT_EQ(a.shared_ops, b.shared_ops) << a.name;
+  EXPECT_EQ(a.shared_conflict_passes, b.shared_conflict_passes) << a.name;
+  EXPECT_EQ(a.atomic_ops, b.atomic_ops) << a.name;
+  EXPECT_EQ(a.atomic_serial_passes, b.atomic_serial_passes) << a.name;
+  EXPECT_EQ(a.simtcheck_hazards, b.simtcheck_hazards) << a.name;
+  EXPECT_EQ(a.num_blocks, b.num_blocks) << a.name;
+  EXPECT_EQ(a.block_threads, b.block_threads) << a.name;
+  EXPECT_EQ(a.shared_bytes, b.shared_bytes) << a.name;
+  EXPECT_EQ(a.occupancy, b.occupancy) << a.name;
+  if (address_free) {
+    // Loads through the read-only cache only count a transaction on a
+    // miss, so ld_transactions inherits the cache's address sensitivity.
+    EXPECT_EQ(a.ld_transactions, b.ld_transactions) << a.name;
+    EXPECT_EQ(a.rocache_hits, b.rocache_hits) << a.name;
+    EXPECT_EQ(a.rocache_misses, b.rocache_misses) << a.name;
+    EXPECT_EQ(a.time_ms, b.time_ms) << a.name;
+  }
+}
+
+TEST(SimtCheckClean, PipelineAllStrategiesAndWorkerCounts) {
+  const PipelineFixture fx;
+  for (const auto strategy :
+       {core::ExtensionStrategy::kWindow, core::ExtensionStrategy::kDiagonal,
+        core::ExtensionStrategy::kHit}) {
+    core::Config baseline_config;
+    baseline_config.strategy = strategy;
+    const auto baseline =
+        core::CuBlastp(baseline_config).search(fx.query, fx.db);
+    EXPECT_EQ(baseline.hazards.total, 0u);  // checker off: nothing recorded
+
+    for (const int workers : {1, 4}) {
+      core::Config config;
+      config.strategy = strategy;
+      config.simtcheck = true;
+      config.engine_workers = workers;
+      const auto report = core::CuBlastp(config).search(fx.query, fx.db);
+      EXPECT_EQ(report.hazards.total, 0u)
+          << "strategy " << static_cast<int>(strategy) << " workers "
+          << workers << "\n"
+          << report.hazards.summary();
+      EXPECT_GT(report.hazards.collectives_checked, 0u);
+      expect_same_result(baseline.result, report.result);
+    }
+  }
+}
+
+TEST(SimtCheckClean, CheckerDoesNotPerturbMetrics) {
+  // Disabled-vs-enabled runs must produce the same KernelStats: the
+  // instrumentation only observes. With the read-only cache model off,
+  // no metric depends on absolute heap addresses and the comparison is
+  // bit-exact across every field, including the modeled time.
+  const PipelineFixture fx;
+  for (const bool rocache : {false, true}) {
+    core::Config off;
+    off.use_readonly_cache = rocache;
+    core::Config on = off;
+    on.simtcheck = true;
+    const auto plain = core::CuBlastp(off).search(fx.query, fx.db);
+    const auto checked = core::CuBlastp(on).search(fx.query, fx.db);
+    ASSERT_EQ(checked.hazards.total, 0u) << checked.hazards.summary();
+    expect_same_result(plain.result, checked.result);
+
+    const auto& a = plain.profile.kernels();
+    const auto& b = checked.profile.kernels();
+    ASSERT_EQ(a.size(), b.size());
+    for (const auto& [name, stats] : a) {
+      ASSERT_TRUE(b.count(name)) << name;
+      expect_same_stats(stats, b.at(name), /*address_free=*/!rocache);
+    }
+  }
+}
+
+TEST(SimtCheckClean, GappedAblationKernel) {
+  // The gapped GPU kernel is outside CuBlastp's pipeline (paper §3.6's
+  // rejected alternative), so it is checked through the engine directly.
+  const PipelineFixture fx;
+  blast::SearchParams params;
+  blast::WordLookup lookup(fx.query, bio::Blosum62::instance(), params);
+  bio::Pssm pssm(fx.query, bio::Blosum62::instance());
+  std::vector<blast::UngappedExtension> seeds;
+  blast::TwoHitTracker tracker(fx.query.size() + fx.db.max_length() + 2);
+  for (std::size_t i = 0; i < fx.db.size(); ++i)
+    blast::run_ungapped_phase(lookup, pssm, fx.db.residues(i),
+                              static_cast<std::uint32_t>(i), params, tracker,
+                              seeds);
+  ASSERT_FALSE(seeds.empty());
+
+  core::QueryDevice dq(fx.query, lookup, pssm);
+  core::BlockDevice blk(fx.db, 0, fx.db.size());
+  core::Config config;
+  simt::Engine engine;
+  engine.set_simtcheck_enabled(true);
+  const auto result =
+      core::launch_gapped_extension_gpu(engine, config, dq, blk, seeds);
+  EXPECT_EQ(result.scores.size(), seeds.size());
+  EXPECT_EQ(engine.hazards().total, 0u) << engine.hazards().summary();
+}
+
+TEST(SimtCheckClean, CoarseBaselines) {
+  const PipelineFixture fx;
+  baselines::CoarseConfig config;
+  config.simtcheck = true;
+  const auto cuda = baselines::cuda_blastp_search(fx.query, fx.db, config);
+  EXPECT_EQ(cuda.hazards.total, 0u) << cuda.hazards.summary();
+  const auto gpu = baselines::gpu_blastp_search(fx.query, fx.db, config);
+  EXPECT_EQ(gpu.hazards.total, 0u) << gpu.hazards.summary();
+}
+
+}  // namespace
+}  // namespace repro
