@@ -87,6 +87,34 @@ void print_banner(const std::string& figure, const std::string& paper_claim,
   std::printf("================================================================\n");
 }
 
+std::string provenance_json(const core::Config& config) {
+#ifndef REPRO_GIT_SHA
+#define REPRO_GIT_SHA "unknown"
+#endif
+#ifndef REPRO_BUILD_TYPE
+#define REPRO_BUILD_TYPE "unknown"
+#endif
+  const char* strategy = "window";
+  if (config.strategy == core::ExtensionStrategy::kDiagonal)
+    strategy = "diagonal";
+  else if (config.strategy == core::ExtensionStrategy::kHit)
+    strategy = "hit";
+  std::ostringstream json;
+  json << "{\"git_sha\": \"" << REPRO_GIT_SHA << "\", \"build_type\": \""
+       << REPRO_BUILD_TYPE << "\", \"compiler\": \"" << __VERSION__
+       << "\", \"config\": {\"engine_workers\": " << config.engine_workers
+       << ", \"num_bins_per_warp\": " << config.num_bins_per_warp
+       << ", \"strategy\": \"" << strategy
+       << "\", \"readonly_cache\": "
+       << (config.use_readonly_cache ? "true" : "false")
+       << ", \"db_blocks\": " << config.db_blocks
+       << ", \"cpu_threads\": " << config.cpu_threads
+       << ", \"detection_blocks\": " << config.detection_blocks
+       << ", \"detection_block_threads\": " << config.detection_block_threads
+       << "}}";
+  return json.str();
+}
+
 int run_engine_wallclock_json(const util::Options& options,
                               const BenchSetup& setup,
                               const std::string& bench_name) {
@@ -101,6 +129,8 @@ int run_engine_wallclock_json(const util::Options& options,
   json << std::fixed;
   json << "{\n";
   json << "  \"bench\": \"" << bench_name << "\",\n";
+  json << "  \"provenance\": " << provenance_json(default_cublastp_config())
+       << ",\n";
   json << "  \"workload\": {\"query\": \"" << w.query_name
        << "\", \"db\": \"" << w.db_name << "\", \"db_seqs\": " << w.db.size()
        << "},\n";

@@ -58,6 +58,12 @@ struct Workload {
 void print_banner(const std::string& figure, const std::string& paper_claim,
                   const BenchSetup& setup);
 
+/// A JSON object stamping a bench result with where it came from: the
+/// configure-time git SHA, build type, compiler, and the engine tunables
+/// that shaped the run. Embedded in every bench_results/*.json so a result
+/// file found later is attributable without the shell history.
+[[nodiscard]] std::string provenance_json(const core::Config& config);
+
 /// `--json` mode: measures the cuBLASTP engine's host wall-clock (serial
 /// vs the SM-sharded parallel engine with 2 and 4 workers) alongside the
 /// modeled GPU milliseconds on the query127/swissprot workload, and writes

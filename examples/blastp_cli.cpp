@@ -4,7 +4,16 @@
 //   ./blastp_cli --query=queries.fasta --db=database.fasta
 //                [--evalue=10] [--engine=cublastp|fsa|ncbi]
 //                [--strategy=window|diagonal|hit] [--threads=4]
-//                [--max_alignments=5] [--lenient] [--simtcheck]
+//                [--engine_workers=1] [--max_alignments=5]
+//                [--lenient] [--simtcheck]
+//                [--trace=out.json] [--metrics=out.prom]
+//                [--report] [--report-json=out.json]
+//
+// Observability: --trace records one Chrome-trace session spanning every
+// query (load in chrome://tracing or Perfetto); --metrics exports the
+// process metrics registry (.prom/.txt = Prometheus text, else JSON);
+// --report prints the per-query phase/counter tables; --report-json writes
+// the structured run report(s) (schema cublastp.search_report.v1).
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
@@ -12,14 +21,19 @@
 //   ./blastp_cli --query=q.fasta --db=db.fasta
 #include <cstdio>
 #include <exception>
+#include <fstream>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "baselines/cpu.hpp"
 #include "bio/fasta.hpp"
 #include "blast/results.hpp"
 #include "core/cublastp.hpp"
+#include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace {
 
@@ -31,7 +45,10 @@ int run(int argc, char** argv) {
                  "usage: blastp_cli --query=FASTA --db=FASTA "
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
-                 "[--max_alignments=N] [--lenient] [--simtcheck]\n");
+                 "[--engine_workers=W] "
+                 "[--max_alignments=N] [--lenient] [--simtcheck] "
+                 "[--trace=PATH] [--metrics=PATH] [--report] "
+                 "[--report-json=PATH]\n");
     return 2;
   }
 
@@ -58,6 +75,8 @@ int run(int argc, char** argv) {
   config.params.max_evalue = options.get_double("evalue", 10.0);
   config.cpu_threads =
       static_cast<std::size_t>(options.get_int("threads", 4));
+  config.engine_workers =
+      static_cast<int>(options.get_int("engine_workers", 1));
   const std::string strategy = options.get("strategy", "window");
   if (strategy == "diagonal")
     config.strategy = core::ExtensionStrategy::kDiagonal;
@@ -74,7 +93,17 @@ int run(int argc, char** argv) {
   const auto max_alignments =
       static_cast<std::size_t>(options.get_int("max_alignments", 5));
 
+  // One Chrome-trace session spanning every query; search() sees it active
+  // and joins rather than starting per-query sessions.
+  const std::string trace_path = options.get("trace", "");
+  std::optional<util::TraceSession> trace_session;
+  if (!trace_path.empty()) trace_session.emplace(trace_path);
+  const std::string metrics_path = options.get("metrics", "");
+  const std::string report_json_path = options.get("report-json", "");
+  const bool print_report = options.has("report");
+
   bool hazards_found = false;
+  std::vector<std::string> report_jsons;
   for (const auto& query : queries) {
     std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
                 query.length());
@@ -89,6 +118,9 @@ int run(int argc, char** argv) {
                                          config.cpu_threads);
     } else {
       report = core::CuBlastp(config).search(query.residues, db);
+      if (print_report) std::printf("%s\n", report.to_table().c_str());
+      if (!report_json_path.empty())
+        report_jsons.push_back(report.to_json());
       result = std::move(report.result);
     }
     const double elapsed = timer.seconds();
@@ -137,6 +169,29 @@ int run(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     result.counters.gapped_extensions));
   }
+  if (!report_json_path.empty()) {
+    std::ofstream out(report_json_path);
+    if (!out) {
+      std::fprintf(stderr, "blastp_cli: cannot write %s\n",
+                   report_json_path.c_str());
+      return 1;
+    }
+    // One object per cublastp query, as a JSON array for stability even
+    // with a single query.
+    out << '[';
+    for (std::size_t i = 0; i < report_jsons.size(); ++i) {
+      if (i) out << ',';
+      out << report_jsons[i];
+    }
+    out << "]\n";
+  }
+  if (!metrics_path.empty() &&
+      !util::metrics::Registry::instance().write_file(metrics_path)) {
+    std::fprintf(stderr, "blastp_cli: cannot write %s\n",
+                 metrics_path.c_str());
+    return 1;
+  }
+
   // Like cuda-memcheck: correct-looking output still fails the run when
   // the analyzer found hazards.
   return hazards_found ? 3 : 0;

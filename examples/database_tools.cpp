@@ -5,7 +5,12 @@
 //
 //   ./database_tools generate --out=db.fasta [--seqs=N] [--env_nr]
 //                             [--plant_query_len=N]
+//   ./database_tools query    --out=q.fasta [--len=N]
 //   ./database_tools inspect --in=db.fasta [--lenient]
+//
+// "query" writes the deterministic benchmark query of the given length —
+// the same sequence `generate --plant_query_len=N` plants homologs of, so
+// the pair gives an end-to-end search with guaranteed hits.
 #include <cstdio>
 
 #include <array>
@@ -52,6 +57,17 @@ int run(int argc, char** argv) {
     return 0;
   }
 
+  if (mode == "query") {
+    const auto len =
+        static_cast<std::size_t>(options.get_int("len", 517));
+    const bio::Sequence query = bio::make_benchmark_query(len);
+    const std::string out = options.get("out", "query.fasta");
+    bio::write_fasta_file(out, {query});
+    std::printf("wrote query %s (%zu letters) to %s\n", query.id.c_str(),
+                query.length(), out.c_str());
+    return 0;
+  }
+
   if (mode == "inspect") {
     const std::string in = options.get("in", "db.fasta");
     const auto policy = options.has("lenient") ? bio::FastaPolicy::kLenient
@@ -90,7 +106,8 @@ int run(int argc, char** argv) {
     return 0;
   }
 
-  std::fprintf(stderr, "usage: database_tools generate|inspect [options]\n");
+  std::fprintf(stderr,
+               "usage: database_tools generate|query|inspect [options]\n");
   return 2;
 }
 

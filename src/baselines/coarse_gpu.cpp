@@ -13,6 +13,7 @@
 #include "core/scoring.hpp"
 #include "simt/engine.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace repro::baselines {
 
@@ -360,6 +361,13 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
                            const bio::SequenceDatabase& original_db,
                            const CoarseConfig& config, bool sort_by_length,
                            bool dynamic_queue) {
+  util::TraceSpan search_span(
+      dynamic_queue ? "gpu_blastp.search" : "cuda_blastp.search", "baseline");
+  if (search_span.active()) {
+    search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
+    search_span.arg("db_sequences",
+                    static_cast<std::uint64_t>(original_db.size()));
+  }
   CoarseReport report;
   simt::Engine engine;
   // These baselines predate Kepler's read-only cache.
@@ -367,6 +375,7 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
   if (config.simtcheck) engine.set_simtcheck_enabled(true);
 
   util::Timer other_timer;
+  util::TraceSpan prep_span("query_prep", "baseline");
   blast::WordLookup lookup(query, bio::Blosum62::instance(), config.params);
   bio::Pssm pssm(query, bio::Blosum62::instance());
   bio::EvalueCalculator evalue(bio::blosum62_gapped_11_1(), query.size(),
@@ -396,12 +405,20 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
     sorted_storage = bio::SequenceDatabase(std::move(seqs));
     db = &sorted_storage;
   }
+  prep_span.end();
   report.other_seconds += other_timer.seconds();
   engine.transfer("h2d_query", device_query.h2d_bytes());
 
   std::vector<blast::UngappedExtension> extensions;
   const auto blocks = db->split_blocks(config.db_blocks);
-  for (const auto& [begin, end] : blocks) {
+  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    const auto [begin, end] = blocks[bi];
+    util::TraceSpan block_span;
+    if (util::trace_enabled()) {
+      block_span.open("db_block " + std::to_string(bi), "baseline");
+      block_span.arg("first_seq", static_cast<std::uint64_t>(begin));
+      block_span.arg("end_seq", static_cast<std::uint64_t>(end));
+    }
     core::BlockDevice device_block(*db, begin, end);
     engine.transfer("h2d_block", device_block.h2d_bytes());
 
@@ -434,14 +451,17 @@ CoarseReport coarse_search(std::span<const std::uint8_t> query,
 
   // CPU phases: single-threaded, not overlapped (neither baseline
   // pipelines CPU work against the GPU).
+  util::TraceSpan gapped_span("gapped_stage", "baseline");
   auto stage = blast::process_gapped_stage(pssm, original_db, extensions,
                                            config.params, evalue);
+  gapped_span.end();
   report.gapped_seconds = stage.gapped_seconds;
   report.traceback_seconds = stage.traceback_seconds;
   report.result.counters.gapped_extensions = stage.gapped_extensions;
   report.result.counters.tracebacks = stage.tracebacks;
 
   {
+    util::TraceSpan finalize_span("finalize", "baseline");
     util::ScopedAccumulator finalize_time(report.other_seconds);
     report.result.alignments = std::move(stage.alignments);
     blast::finalize_results(report.result.alignments, config.params, evalue);

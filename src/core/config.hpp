@@ -83,6 +83,19 @@ struct Config {
   std::string fault_schedule;
   std::uint64_t fault_seed = 0;  ///< 0 = util::default_fault_seed()
 
+  /// Non-empty: search() records a Chrome-trace session and writes it here
+  /// (see util/trace.hpp; load in chrome://tracing or Perfetto). Empty:
+  /// the REPRO_TRACE environment variable supplies the path instead, and
+  /// if neither is set tracing stays off (one branch per site). When an
+  /// outer session is already active (e.g. blastp_cli --trace spanning
+  /// several queries), search() joins it rather than starting its own.
+  std::string trace_path;
+
+  /// Non-empty: the process metrics registry is exported here after
+  /// search() (".prom"/".txt" = Prometheus text, else JSON). Empty: the
+  /// REPRO_METRICS environment variable is honoured the same way.
+  std::string metrics_path;
+
   [[nodiscard]] int detection_warps() const {
     return detection_blocks * detection_block_threads / 32;
   }

@@ -1,10 +1,12 @@
 #include "core/cublastp.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <optional>
 #include <stdexcept>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "bio/karlin.hpp"
 #include "bio/pssm.hpp"
@@ -16,7 +18,9 @@
 #include "core/kernels.hpp"
 #include "util/fault.hpp"
 #include "util/makespan.hpp"
+#include "util/metrics.hpp"
 #include "util/timer.hpp"
+#include "util/trace.hpp"
 
 namespace repro::core {
 
@@ -78,6 +82,13 @@ BlockOutcome run_block_on_gpu(simt::Engine& engine, const Config& config,
       return out;
     }
     ++overflow_retries;
+    if (util::trace_enabled()) {
+      util::trace_instant(
+          "bin_overflow_retry", "degrade",
+          {util::targ("retry", retry),
+           util::targ("capacity", static_cast<std::uint64_t>(bin_capacity))});
+      util::trace_counter("bin_capacity", static_cast<double>(bin_capacity));
+    }
     if (retry >= config.max_bin_retries)
       throw SearchError(
           SearchErrorCode::kBinOverflowExhausted,
@@ -107,6 +118,11 @@ BlockOutcome run_block_on_cpu(const blast::WordLookup& lookup,
                               const blast::SearchParams& params) {
   // "core.cpu_fallback" lets chaos tests exhaust the whole ladder.
   util::fault_point_throw("core.cpu_fallback");
+  util::TraceSpan span("cpu_fallback", "degrade");
+  if (span.active()) {
+    span.arg("first_seq", static_cast<std::uint64_t>(begin));
+    span.arg("end_seq", static_cast<std::uint64_t>(end));
+  }
   BlockOutcome out;
   util::Timer timer;
   blast::TwoHitTracker tracker(query_length + db.max_length() + 2);
@@ -120,6 +136,83 @@ BlockOutcome run_block_on_cpu(const blast::WordLookup& lookup,
   }
   out.cpu_fallback_seconds = timer.seconds();
   return out;
+}
+
+/// Last finish time in a modeled schedule (its makespan).
+double schedule_finish(std::span<const util::ScheduledTask> tasks) {
+  double finish = 0.0;
+  for (const auto& t : tasks) finish = std::max(finish, t.finish);
+  return finish;
+}
+
+std::uint64_t model_ns(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e9);
+}
+
+/// One CPU phase of one block on the modeled timeline: a span per worker
+/// covering that worker's busy window in the greedy schedule (per-task
+/// spans would overwhelm the trace; the task count rides as an arg).
+void emit_modeled_worker_phase(const char* name, std::size_t bi,
+                               double phase_start_s,
+                               std::span<const util::ScheduledTask> tasks,
+                               std::size_t cpu_threads) {
+  std::vector<double> finish(cpu_threads, 0.0);
+  std::vector<std::uint64_t> count(cpu_threads, 0);
+  for (const auto& t : tasks) {
+    finish[t.worker] = std::max(finish[t.worker], t.finish);
+    ++count[t.worker];
+  }
+  for (std::size_t w = 0; w < cpu_threads; ++w) {
+    if (count[w] == 0) continue;
+    util::TraceEvent e;
+    e.phase = 'X';
+    e.name = name;
+    e.category = "modeled";
+    e.ts_ns = model_ns(phase_start_s);
+    e.dur_ns = model_ns(finish[w]);
+    e.args.push_back(util::targ("block", static_cast<std::uint64_t>(bi)));
+    e.args.push_back(util::targ("tasks", count[w]));
+    util::Tracer::instance().record_modeled(
+        "cpu-worker-" + std::to_string(w) + " (modeled)", std::move(e));
+  }
+}
+
+/// One database block on the modeled Fig. 12 timeline (pid 2 of the
+/// trace): the GPU+PCIe chain span, then the CPU fallback (if the block
+/// degraded) and the gapped/traceback phases as per-worker spans of the
+/// same greedy schedule the makespan model priced.
+void emit_modeled_block(std::size_t bi, double gpu_start_s, double gpu_s,
+                        double cpu_start_s, double fallback_s,
+                        std::span<const util::ScheduledTask> gapped,
+                        std::span<const util::ScheduledTask> traceback,
+                        std::size_t cpu_threads) {
+  util::TraceEvent gpu_event;
+  gpu_event.phase = 'X';
+  gpu_event.name = "gpu chain";
+  gpu_event.category = "modeled";
+  gpu_event.ts_ns = model_ns(gpu_start_s);
+  gpu_event.dur_ns = model_ns(gpu_s);
+  gpu_event.args.push_back(
+      util::targ("block", static_cast<std::uint64_t>(bi)));
+  util::Tracer::instance().record_modeled("GPU + PCIe (modeled)",
+                                          std::move(gpu_event));
+
+  double t = cpu_start_s;
+  if (fallback_s > 0.0) {
+    util::TraceEvent e;
+    e.phase = 'X';
+    e.name = "cpu_fallback";
+    e.category = "modeled";
+    e.ts_ns = model_ns(t);
+    e.dur_ns = model_ns(fallback_s);
+    e.args.push_back(util::targ("block", static_cast<std::uint64_t>(bi)));
+    util::Tracer::instance().record_modeled("cpu-worker-0 (modeled)",
+                                            std::move(e));
+    t += fallback_s;
+  }
+  emit_modeled_worker_phase("gapped", bi, t, gapped, cpu_threads);
+  t += schedule_finish(gapped);
+  emit_modeled_worker_phase("traceback", bi, t, traceback, cpu_threads);
 }
 
 }  // namespace
@@ -159,6 +252,24 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
   const std::uint64_t fires_at_start =
       util::FaultInjector::instance().total_fires();
 
+  // Observability session: Config::trace_path, else REPRO_TRACE. If an
+  // outer owner (the CLI) already started a session this scope is passive
+  // and the outer owner writes the file.
+  std::string trace_path = config_.trace_path;
+  if (trace_path.empty())
+    if (const char* env = std::getenv("REPRO_TRACE")) trace_path = env;
+  std::optional<util::TraceSession> trace_session;
+  if (!trace_path.empty()) trace_session.emplace(trace_path);
+
+  util::Timer search_timer;
+  util::TraceSpan search_span("cublastp.search", "core");
+  if (search_span.active()) {
+    search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
+    search_span.arg("db_sequences", static_cast<std::uint64_t>(db.size()));
+    search_span.arg("db_blocks", static_cast<std::uint64_t>(config_.db_blocks));
+    search_span.arg("engine_workers", config_.engine_workers);
+  }
+
   SearchReport report;
   simt::Engine engine;
   engine.set_readonly_cache_enabled(config_.use_readonly_cache);
@@ -167,11 +278,13 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   // --- query preprocessing (the "Other" phase of Fig. 19d) ---------------
   util::Timer other_timer;
+  util::TraceSpan prep_span("query_prep", "core");
   blast::WordLookup lookup(query, bio::Blosum62::instance(), config_.params);
   bio::Pssm pssm(query, bio::Blosum62::instance());
   bio::EvalueCalculator evalue(bio::blosum62_gapped_11_1(), query.size(),
                                db.total_residues(), db.size());
   QueryDevice device_query(query, lookup, pssm);
+  prep_span.end();
   report.other_seconds += other_timer.seconds();
   report.h2d_ms += engine.transfer("h2d_query", device_query.h2d_bytes());
 
@@ -188,6 +301,10 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
     double gpu_chain_ms = 0.0;  ///< H2D + kernels + D2H for this block
     double cpu_fallback_seconds = 0.0;
     std::vector<blast::UngappedExtension> extensions;
+    // Greedy-schedule placements of the CPU tasks, kept only while tracing
+    // so the modeled Fig. 12 timeline can draw per-worker spans.
+    std::vector<util::ScheduledTask> gapped_schedule;
+    std::vector<util::ScheduledTask> traceback_schedule;
   };
   std::vector<BlockWork> work(blocks.size());
   report.retry_counts.assign(blocks.size(), 0);
@@ -196,6 +313,12 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     const auto [begin, end] = blocks[bi];
+    util::TraceSpan block_span;
+    if (util::trace_enabled()) {
+      block_span.open("db_block " + std::to_string(bi), "core");
+      block_span.arg("first_seq", static_cast<std::uint64_t>(begin));
+      block_span.arg("end_seq", static_cast<std::uint64_t>(end));
+    }
     const double gpu_ms_before = engine.profile().total_time_ms();
 
     std::optional<BlockOutcome> outcome;
@@ -204,14 +327,25 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
       Config attempt_config = config_;
       attempt_config.use_readonly_cache = cache_enabled;
       engine.set_readonly_cache_enabled(cache_enabled);
+      util::TraceSpan attempt_span;
+      if (util::trace_enabled()) {
+        attempt_span.open("gpu_attempt", "core");
+        attempt_span.arg("rung", rung);
+        attempt_span.arg("readonly_cache", cache_enabled ? "on" : "off");
+      }
+      std::string failure;
       try {
         outcome = run_block_on_gpu(engine, attempt_config, device_query, db,
                                    begin, end, bin_capacity,
                                    report.bin_overflow_retries);
-      } catch (const SearchError&) {
-      } catch (const simt::DeviceError&) {
-      } catch (const util::FaultInjectedError&) {
+      } catch (const SearchError& e) {
+        failure = e.what();
+      } catch (const simt::DeviceError& e) {
+        failure = e.what();
+      } catch (const util::FaultInjectedError& e) {
+        failure = e.what();
       } catch (const std::bad_alloc&) {
+        failure = "std::bad_alloc";
       }
       // Anything else — std::invalid_argument contract violations above
       // all — propagates: a retry cannot fix a malformed launch, and the
@@ -219,11 +353,27 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
       if (!outcome) {
         ++report.retry_counts[bi];
         if (rung == 0) ++report.cache_off_retries;
+        if (attempt_span.active()) {
+          attempt_span.arg("failed", failure);
+          attempt_span.end();
+          // One instant per ladder transition: rung 0 -> retry with the
+          // read-only cache off, rung 1 -> fall through to the CPU.
+          util::trace_instant(
+              rung == 0 ? "degrade.cache_off_retry"
+                        : "degrade.gpu_exhausted",
+              "degrade",
+              {util::targ("block", static_cast<std::uint64_t>(bi)),
+               util::targ("error", failure)});
+        }
       }
     }
     engine.set_readonly_cache_enabled(config_.use_readonly_cache);
 
     if (!outcome) {
+      if (util::trace_enabled())
+        util::trace_instant(
+            "degrade.cpu_fallback", "degrade",
+            {util::targ("block", static_cast<std::uint64_t>(bi))});
       try {
         outcome = run_block_on_cpu(lookup, pssm, db, begin, end, query.size(),
                                    config_.params);
@@ -251,6 +401,14 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
     work[bi].gpu_chain_ms =
         engine.profile().total_time_ms() - gpu_ms_before;
+    if (util::trace_enabled()) {
+      util::trace_counter(
+          "hits_detected_total",
+          static_cast<double>(report.result.counters.hits_detected));
+      util::trace_counter(
+          "hits_after_filter_total",
+          static_cast<double>(report.result.counters.hits_after_filter));
+    }
   }
 
   // --- CPU phases per block (gapped extension + traceback) ----------------
@@ -258,12 +416,31 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
   double fallback_seconds = 0.0;
   std::vector<blast::Alignment> alignments;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
+    util::TraceSpan gapped_span;
+    if (util::trace_enabled()) {
+      gapped_span.open("gapped_stage", "cpu");
+      gapped_span.arg("block", static_cast<std::uint64_t>(bi));
+    }
     auto stage = blast::process_gapped_stage(pssm, db, work[bi].extensions,
                                              config_.params, evalue);
     const double gapped = util::list_schedule_makespan(
         stage.gapped_task_costs, config_.cpu_threads);
     const double traceback = util::list_schedule_makespan(
         stage.traceback_task_costs, config_.cpu_threads);
+    if (gapped_span.active()) {
+      gapped_span.arg("gapped_tasks",
+                      static_cast<std::uint64_t>(
+                          stage.gapped_task_costs.size()));
+      gapped_span.arg("traceback_tasks",
+                      static_cast<std::uint64_t>(
+                          stage.traceback_task_costs.size()));
+      // Keep the greedy placements so the modeled timeline can draw the
+      // per-worker CPU tracks of Fig. 12.
+      work[bi].gapped_schedule =
+          util::list_schedule(stage.gapped_task_costs, config_.cpu_threads);
+      work[bi].traceback_schedule = util::list_schedule(
+          stage.traceback_task_costs, config_.cpu_threads);
+    }
     report.gapped_seconds += gapped;
     report.traceback_seconds += traceback;
     cpu_block_seconds[bi] =
@@ -278,6 +455,7 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   // --- finalization --------------------------------------------------------
   {
+    util::TraceSpan finalize_span("finalize", "cpu");
     util::ScopedAccumulator finalize_time(report.other_seconds);
     report.result.alignments = std::move(alignments);
     blast::finalize_results(report.result.alignments, config_.params,
@@ -299,13 +477,21 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   // Pipeline model (paper Fig. 12): the GPU/PCIe chain processes blocks in
   // order; the CPU phases of block i start when both its GPU chain and the
-  // CPU phases of block i-1 are done.
+  // CPU phases of block i-1 are done. While tracing, the same walk is
+  // emitted as the synthetic "modeled pipeline" process of the trace.
   double gpu_done_s = 0.0, cpu_done_s = 0.0, serial_s = 0.0;
   for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
     const double gpu_s = work[bi].gpu_chain_ms / 1e3;
+    const double gpu_start_s = gpu_done_s;
     gpu_done_s += gpu_s;
-    cpu_done_s = std::max(cpu_done_s, gpu_done_s) + cpu_block_seconds[bi];
+    const double cpu_start_s = std::max(cpu_done_s, gpu_done_s);
+    cpu_done_s = cpu_start_s + cpu_block_seconds[bi];
     serial_s += gpu_s + cpu_block_seconds[bi];
+    if (util::trace_enabled())
+      emit_modeled_block(bi, gpu_start_s, gpu_s, cpu_start_s,
+                         work[bi].cpu_fallback_seconds,
+                         work[bi].gapped_schedule,
+                         work[bi].traceback_schedule, config_.cpu_threads);
   }
   report.overlapped_total_seconds = cpu_done_s + report.other_seconds;
   report.serial_total_seconds = serial_s + report.other_seconds;
@@ -326,6 +512,35 @@ SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
 
   report.faults_encountered =
       util::FaultInjector::instance().total_fires() - fires_at_start;
+  if (util::trace_enabled() && report.faults_encountered > 0)
+    util::trace_instant("faults_absorbed", "degrade",
+                        {util::targ("count", report.faults_encountered)});
+  if (search_span.active()) {
+    search_span.arg("alignments",
+                    static_cast<std::uint64_t>(report.result.alignments.size()));
+    search_span.arg("degraded_blocks", report.degraded_blocks);
+    search_span.arg("faults_absorbed", report.faults_encountered);
+  }
+  search_span.end();
+
+  // Metrics are always on (lock-free recording; see util/metrics.hpp) —
+  // only the export below is gated on a destination being configured.
+  auto& registry = util::metrics::Registry::instance();
+  registry.counter("core.searches").add(1);
+  registry.counter("core.alignments").add(report.result.alignments.size());
+  registry.counter("core.bin_overflow_retries")
+      .add(report.bin_overflow_retries);
+  registry.counter("core.cache_off_retries").add(report.cache_off_retries);
+  registry.counter("core.degraded_blocks").add(report.degraded_blocks);
+  registry.counter("core.faults_absorbed").add(report.faults_encountered);
+  registry.histogram("core.search_wall_seconds")
+      .observe(search_timer.seconds());
+
+  std::string metrics_path = config_.metrics_path;
+  if (metrics_path.empty())
+    if (const char* env = std::getenv("REPRO_METRICS")) metrics_path = env;
+  if (!metrics_path.empty()) registry.write_file(metrics_path);
+
   return report;
 }
 

@@ -70,6 +70,15 @@ struct SearchReport {
   [[nodiscard]] double sorting_group_ms() const {
     return scan_ms + assemble_ms + sort_ms;
   }
+
+  /// Machine-readable run report (schema "cublastp.search_report.v1"):
+  /// phase times, pipeline totals, work counters, degradation ladder,
+  /// hazards, and the full per-kernel profile — everything CI and bench
+  /// scripts previously scraped from stdout. See core/report.cpp.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Human-readable phase/profile tables (util::Table) for --report.
+  [[nodiscard]] std::string to_table() const;
 };
 
 class CuBlastp {

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/trace.hpp"
 
 namespace repro::simt {
 
@@ -25,7 +27,7 @@ void Engine::set_workers(int workers) {
   if (workers_ > 1) {
     if (!pool_ || pool_->size() != static_cast<std::size_t>(workers_))
       pool_ = std::make_unique<util::ThreadPool>(
-          static_cast<std::size_t>(workers_));
+          static_cast<std::size_t>(workers_), "engine");
   } else {
     pool_.reset();
   }
@@ -70,10 +72,23 @@ KernelStats Engine::finalize_launch(const LaunchConfig& config,
           .occupancy;
   cost_.apply(spec_, stats);
   profile_.add(stats);
+
+  // Export-side observability only: these counters feed the metrics
+  // registry, never back into KernelStats or the cost model.
+  static auto& launches =
+      util::metrics::Registry::instance().counter("engine.launches");
+  static auto& blocks =
+      util::metrics::Registry::instance().counter("engine.blocks_executed");
+  static auto& modeled_ms = util::metrics::Registry::instance().histogram(
+      "engine.modeled_kernel_ms");
+  launches.add(1);
+  blocks.add(stats.num_blocks);
+  modeled_ms.observe(stats.time_ms);
   return stats;
 }
 
 double Engine::transfer(const std::string& label, std::uint64_t bytes) {
+  util::TraceSpan span(label, "pcie");
   // "simt.transfer" models a failed cudaMemcpy.
   if (util::fault_point("simt.transfer"))
     throw DeviceError("injected transfer failure for '" + label + "'");
@@ -83,6 +98,16 @@ double Engine::transfer(const std::string& label, std::uint64_t bytes) {
   stats.st_bytes_requested = bytes;
   stats.time_ms = ms;
   profile_.add(stats);
+  if (span.active()) {
+    span.arg("bytes", bytes);
+    span.arg("modeled_ms", ms);
+  }
+  static auto& transfers =
+      util::metrics::Registry::instance().counter("engine.transfers");
+  static auto& transfer_bytes =
+      util::metrics::Registry::instance().counter("engine.transfer_bytes");
+  transfers.add(1);
+  transfer_bytes.add(bytes);
   return ms;
 }
 

@@ -42,6 +42,7 @@
 #include "simt/simtcheck.hpp"
 #include "simt/warp.hpp"
 #include "util/thread_pool.hpp"
+#include "util/trace.hpp"
 
 namespace repro::simt {
 
@@ -145,6 +146,10 @@ class Engine {
   template <class Kernel>
   KernelStats launch(const LaunchConfig& config, Kernel&& kernel) {
     const int warps_per_block = validate_launch(config);
+    // One span per kernel launch; block count / occupancy / modeled ms are
+    // attached after the cost model runs. Disabled tracing is the single
+    // relaxed-load branch inside the TraceSpan constructor.
+    util::TraceSpan span(config.name, "kernel");
     KernelStats stats = begin_stats(config);
     std::size_t shared_high_water = 0;
 
@@ -179,6 +184,11 @@ class Engine {
       std::vector<std::size_t> shard_high(static_cast<std::size_t>(shards), 0);
       pool_->run_shards(
           static_cast<std::size_t>(shards), [&](std::size_t shard) {
+            util::TraceSpan shard_span;
+            if (util::trace_enabled()) {
+              shard_span.open(config.name + "/shard", "simt.shard");
+              shard_span.arg("shard", static_cast<std::uint64_t>(shard));
+            }
             KernelStats& local = shard_stats[shard];
             std::size_t high = 0;
             for (int sm = static_cast<int>(shard); sm < spec_.num_sms;
@@ -209,7 +219,15 @@ class Engine {
     // store analysis, deterministically, on the launching thread.
     if (checker) stats.simtcheck_hazards = checker->finalize(hazards_);
 
-    return finalize_launch(config, stats, shared_high_water);
+    KernelStats out = finalize_launch(config, stats, shared_high_water);
+    if (span.active()) {
+      span.arg("grid_blocks", config.grid_blocks);
+      span.arg("block_threads", config.block_threads);
+      span.arg("workers", shards);
+      span.arg("occupancy", out.occupancy);
+      span.arg("modeled_ms", out.time_ms);
+    }
+    return out;
   }
 
   /// Models a PCIe transfer and accounts it under `label` in the profile.

@@ -1,0 +1,57 @@
+// Tiny JSON emission helpers shared by the observability exporters (the
+// Chrome-trace writer, the metrics registry, and SearchReport::to_json).
+// Emission only — parsing for validation lives in the tests, which use a
+// deliberately strict parser so a sloppy writer cannot self-certify.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace repro::util {
+
+/// Escapes a string for inclusion inside JSON double quotes.
+inline std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// A quoted, escaped JSON string token.
+inline std::string json_str(std::string_view s) {
+  return '"' + json_escape(s) + '"';
+}
+
+/// A finite JSON number token. NaN/inf are not representable in JSON, so
+/// they serialize as null (strict parsers treat that as "absent").
+inline std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+inline std::string json_num(std::uint64_t v) { return std::to_string(v); }
+inline std::string json_num(std::int64_t v) { return std::to_string(v); }
+
+}  // namespace repro::util

@@ -1,8 +1,10 @@
 #include "util/makespan.hpp"
 
 #include <algorithm>
+#include <functional>
 #include <numeric>
 #include <queue>
+#include <utility>
 #include <vector>
 
 namespace repro::util {
@@ -29,6 +31,26 @@ double schedule(std::span<const double> costs, std::size_t workers,
 }
 
 }  // namespace
+
+std::vector<ScheduledTask> list_schedule(std::span<const double> costs,
+                                         std::size_t workers) {
+  std::vector<ScheduledTask> placed;
+  if (costs.empty() || workers == 0) return placed;
+  placed.reserve(costs.size());
+  // Min-heap of (finish time, worker); the worker id breaks ties so the
+  // assignment — not just the makespan — is deterministic.
+  using Slot = std::pair<double, std::size_t>;
+  std::priority_queue<Slot, std::vector<Slot>, std::greater<>> finish;
+  for (std::size_t w = 0; w < workers; ++w) finish.emplace(0.0, w);
+  for (std::size_t i = 0; i < costs.size(); ++i) {
+    const auto [start, worker] = finish.top();
+    finish.pop();
+    const double end = start + costs[i];
+    finish.emplace(end, worker);
+    placed.push_back(ScheduledTask{i, worker, start, end});
+  }
+  return placed;
+}
 
 double list_schedule_makespan(std::span<const double> costs,
                               std::size_t workers) {

@@ -17,8 +17,25 @@
 
 #include <cstddef>
 #include <span>
+#include <vector>
 
 namespace repro::util {
+
+/// One task's placement in a modeled schedule (used by the tracer to draw
+/// the Fig. 12 CPU-side timeline).
+struct ScheduledTask {
+  std::size_t index = 0;   ///< position in the input cost list
+  std::size_t worker = 0;  ///< worker the greedy schedule placed it on
+  double start = 0.0;      ///< seconds from the schedule's zero
+  double finish = 0.0;
+};
+
+/// Greedy online list schedule of `costs` (in submission order) onto
+/// `workers` identical workers: each task goes to the earliest-finishing
+/// worker (ties to the lowest worker id, so placements are deterministic).
+/// This is the schedule whose makespan list_schedule_makespan reports.
+[[nodiscard]] std::vector<ScheduledTask> list_schedule(
+    std::span<const double> costs, std::size_t workers);
 
 /// Makespan (seconds) of greedy list scheduling of `costs` (in submission
 /// order) onto `workers` identical workers.

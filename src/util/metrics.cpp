@@ -1,0 +1,156 @@
+#include "util/metrics.hpp"
+
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/json.hpp"
+
+namespace repro::util::metrics {
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+namespace {
+
+template <class Map, class Instrument>
+Instrument& get_or_create(std::mutex& mutex, Map& map,
+                          std::string_view name) {
+  std::lock_guard lock(mutex);
+  auto it = map.find(name);
+  if (it == map.end())
+    it = map.emplace(std::string(name), std::make_unique<Instrument>())
+             .first;
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name) {
+  return get_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  return get_or_create<decltype(gauges_), Gauge>(mutex_, gauges_, name);
+}
+
+Histogram& Registry::histogram(std::string_view name) {
+  return get_or_create<decltype(histograms_), Histogram>(mutex_, histograms_,
+                                                         name);
+}
+
+std::string Registry::to_json() const {
+  std::lock_guard lock(mutex_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_str(name) + ": " + std::to_string(c->value());
+  }
+  out += "\n  },\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_str(name) + ": " + json_num(g->value());
+  }
+  out += "\n  },\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    " + json_str(name) + ": {\"count\": " +
+           std::to_string(h->count()) + ", \"sum\": " + json_num(h->sum()) +
+           ", \"buckets\": [";
+    bool first_bucket = true;
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      const std::uint64_t n = h->bucket_count(i);
+      if (n == 0) continue;  // sparse: only occupied buckets
+      out += first_bucket ? "" : ", ";
+      first_bucket = false;
+      out += "{\"le\": ";
+      out += i == Histogram::kBuckets ? "\"+Inf\""
+                                      : json_num(Histogram::upper_bound(i));
+      out += ", \"count\": " + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += "\n  }\n}\n";
+  return out;
+}
+
+std::string prometheus_name(std::string_view name) {
+  std::string out = "repro_";
+  for (const char c : name)
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_' ||
+            c == ':')
+               ? c
+               : '_';
+  return out;
+}
+
+std::string Registry::to_prometheus() const {
+  std::lock_guard lock(mutex_);
+  std::ostringstream out;
+  for (const auto& [name, c] : counters_) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " counter\n"
+        << pname << " " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " gauge\n"
+        << pname << " " << json_num(g->value()) << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    const std::string pname = prometheus_name(name);
+    out << "# TYPE " << pname << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (int i = 0; i <= Histogram::kBuckets; ++i) {
+      cumulative += h->bucket_count(i);
+      // Prometheus requires every bucket line to be cumulative and the
+      // last one to be le="+Inf"; empty interior buckets may be elided as
+      // long as the cumulative sequence stays correct, which keeps the
+      // text small.
+      if (h->bucket_count(i) == 0 && i != Histogram::kBuckets) continue;
+      out << pname << "_bucket{le=\"";
+      if (i == Histogram::kBuckets)
+        out << "+Inf";
+      else
+        out << json_num(Histogram::upper_bound(i));
+      out << "\"} " << cumulative << "\n";
+    }
+    out << pname << "_sum " << json_num(h->sum()) << "\n"
+        << pname << "_count " << h->count() << "\n";
+  }
+  return out.str();
+}
+
+bool Registry::write_file(const std::string& path) const {
+  const std::filesystem::path p(path);
+  std::error_code dir_error;
+  if (p.has_parent_path())
+    std::filesystem::create_directories(p.parent_path(), dir_error);
+  std::ofstream out(p);
+  if (dir_error || !out) {
+    std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
+    return false;
+  }
+  const std::string ext = p.extension().string();
+  out << (ext == ".prom" || ext == ".txt" ? to_prometheus() : to_json());
+  return static_cast<bool>(out);
+}
+
+void Registry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
+}
+
+}  // namespace repro::util::metrics

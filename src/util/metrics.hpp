@@ -1,0 +1,139 @@
+// Process-wide metrics registry: named counters, gauges, and histograms
+// with JSON and Prometheus-text exporters.
+//
+// Recording is always on and lock-free (one relaxed atomic RMW per
+// observation); the registry mutex is only taken on the first lookup of a
+// name — hot sites cache the returned reference in a function-local static
+// — and during export. Metrics observe; they never feed back into
+// KernelStats, results, or timing models, so recording cannot perturb the
+// quantities the tests pin.
+//
+// Instrument names use dotted lowercase ("engine.launches"); the
+// Prometheus exporter sanitizes them ('.' -> '_') and prefixes "repro_".
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+namespace repro::util::metrics {
+
+/// Monotonically increasing counter.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value.
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed exponential-bucket histogram: bucket i counts observations
+/// <= 1e-6 * 2^i (1 µs … ~33 s when observing seconds; the bounds are
+/// unitless, callers pick the unit), plus a +Inf bucket. Bucket counts are
+/// NON-cumulative internally; the Prometheus exporter emits the cumulative
+/// form that format requires.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 26;
+
+  void observe(double v) {
+    counts_[static_cast<std::size_t>(bucket_index(v))].fetch_add(
+        1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static int bucket_index(double v) {
+    for (int i = 0; i < kBuckets; ++i)
+      if (v <= upper_bound(i)) return i;
+    return kBuckets;  // +Inf
+  }
+  /// Upper bound of bucket i; i == kBuckets is the +Inf bucket.
+  [[nodiscard]] static double upper_bound(int i) {
+    return 1e-6 * static_cast<double>(1ULL << i);
+  }
+
+  [[nodiscard]] std::uint64_t bucket_count(int i) const {
+    return counts_[static_cast<std::size_t>(i)].load(
+        std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t count() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+  [[nodiscard]] double sum() const {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  void reset() {
+    for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets + 1> counts_{};
+  std::atomic<double> sum_{0.0};
+};
+
+/// The process-wide registry. Instruments are created on first use and
+/// live for the process (pointers returned by the accessors are stable).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{...}} — names sorted.
+  [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition format (counter/gauge/histogram families,
+  /// cumulative "le" buckets, +Inf, _sum/_count).
+  [[nodiscard]] std::string to_prometheus() const;
+
+  /// Writes to `path`: ".prom"/".txt" pick the Prometheus format, anything
+  /// else JSON. Returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+  /// Zeroes every instrument (names and identities persist). For tests and
+  /// per-run exports.
+  void reset_values();
+
+ private:
+  Registry() = default;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// "repro_" + name with every character outside [a-zA-Z0-9_:] mapped to
+/// '_': a valid Prometheus metric name.
+[[nodiscard]] std::string prometheus_name(std::string_view name);
+
+}  // namespace repro::util::metrics

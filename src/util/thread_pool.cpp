@@ -3,8 +3,10 @@
 #include <atomic>
 #include <cassert>
 #include <memory>
+#include <utility>
 
 #include "util/fault.hpp"
+#include "util/trace.hpp"
 
 namespace repro::util {
 
@@ -28,11 +30,12 @@ void join_all(std::vector<std::future<void>>& futures) {
 
 }  // namespace
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
+ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
+    : name_(std::move(name)), task_span_name_(name_ + ".task") {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
 }
 
 ThreadPool::~ThreadPool() {
@@ -44,7 +47,10 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  // Sticky: names this thread's trace track for every session it records
+  // into, even ones started after the pool was built.
+  Tracer::set_thread_name(name_ + "-worker-" + std::to_string(worker_index));
   for (;;) {
     std::function<void()> task;
     {
@@ -55,7 +61,10 @@ void ThreadPool::worker_loop() {
       tasks_.pop();
       ++in_flight_;
     }
-    task();
+    {
+      TraceSpan span(task_span_name_, "pool");
+      task();
+    }
     {
       std::lock_guard lock(mutex_);
       --in_flight_;

@@ -22,7 +22,9 @@ namespace repro::util {
 /// makespan.hpp) honest about what the real scheduler does.
 class ThreadPool {
  public:
-  explicit ThreadPool(std::size_t num_threads);
+  /// `name` labels the pool's worker tracks in traces ("<name>-worker-N")
+  /// and its task spans ("<name>.task"); it has no scheduling effect.
+  explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
   ~ThreadPool();
 
   ThreadPool(const ThreadPool&) = delete;
@@ -58,8 +60,11 @@ class ThreadPool {
   void wait_idle();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
+  std::string name_;
+  std::string task_span_name_;  ///< precomputed: tracing must not allocate
+                                ///< per task while disabled
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
   std::mutex mutex_;

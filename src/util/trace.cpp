@@ -1,0 +1,312 @@
+#include "util/trace.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <utility>
+
+#include "util/json.hpp"
+
+namespace repro::util {
+
+namespace trace_internal {
+std::atomic<bool> enabled{false};
+}  // namespace trace_internal
+
+namespace {
+
+/// Sticky per-thread track name (applied at buffer registration) and the
+/// per-session buffer cache: `gen` tells whether `buffer` belongs to the
+/// current session or a finished one.
+struct ThreadTraceState {
+  std::string track_name;
+  std::uint64_t gen = 0;
+  void* buffer = nullptr;  // Tracer::ThreadBuffer*, type-erased for the TLS
+};
+
+ThreadTraceState& tls() {
+  thread_local ThreadTraceState state;
+  return state;
+}
+
+/// Chrome trace "ts"/"dur" are microseconds; we keep nanoseconds
+/// internally and emit a fractional microsecond value.
+std::string micros(std::uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03u", ns / 1000,
+                static_cast<unsigned>(ns % 1000));
+  return buf;
+}
+
+void append_args(std::string& out, const std::vector<TraceArg>& args) {
+  if (args.empty()) return;
+  out += ",\"args\":{";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (i != 0) out += ',';
+    out += json_str(args[i].key);
+    out += ':';
+    out += args[i].number ? args[i].value : json_str(args[i].value);
+  }
+  out += '}';
+}
+
+/// One serialized trace event. `base_ns` rebases measured timestamps to the
+/// session start; modeled events pass base_ns = 0 (their timestamps are
+/// already offsets).
+void append_event(std::string& out, const TraceEvent& e, int pid,
+                  std::uint32_t tid, std::uint64_t base_ns) {
+  const std::uint64_t ts = e.ts_ns >= base_ns ? e.ts_ns - base_ns : 0;
+  out += "{\"name\":";
+  out += json_str(e.name);
+  if (!e.category.empty()) {
+    out += ",\"cat\":";
+    out += json_str(e.category);
+  }
+  out += ",\"ph\":\"";
+  out += e.phase;
+  out += "\",\"ts\":";
+  out += micros(ts);
+  if (e.phase == 'X') {
+    out += ",\"dur\":";
+    out += micros(e.dur_ns);
+  }
+  if (e.phase == 'i') out += ",\"s\":\"t\"";
+  out += ",\"pid\":";
+  out += std::to_string(pid);
+  out += ",\"tid\":";
+  out += std::to_string(tid);
+  append_args(out, e.args);
+  out += '}';
+}
+
+void append_metadata(std::string& out, const char* what, int pid,
+                     std::uint32_t tid, bool thread_level,
+                     const std::string& value, bool numeric = false) {
+  out += "{\"name\":\"";
+  out += what;
+  out += "\",\"ph\":\"M\",\"pid\":";
+  out += std::to_string(pid);
+  if (thread_level) {
+    out += ",\"tid\":";
+    out += std::to_string(tid);
+  }
+  out += ",\"args\":{\"";
+  out += numeric ? "sort_index" : "name";
+  out += "\":";
+  out += numeric ? value : json_str(value);
+  out += "}}";
+}
+
+}  // namespace
+
+TraceArg targ(std::string_view key, std::string_view value) {
+  return TraceArg{std::string(key), std::string(value), false};
+}
+TraceArg targ(std::string_view key, double value) {
+  return TraceArg{std::string(key), json_num(value), true};
+}
+TraceArg targ(std::string_view key, std::uint64_t value) {
+  return TraceArg{std::string(key), std::to_string(value), true};
+}
+TraceArg targ(std::string_view key, std::int64_t value) {
+  return TraceArg{std::string(key), std::to_string(value), true};
+}
+TraceArg targ(std::string_view key, int value) {
+  return targ(key, static_cast<std::int64_t>(value));
+}
+
+Tracer& Tracer::instance() {
+  static Tracer tracer;
+  return tracer;
+}
+
+bool Tracer::start() {
+  std::lock_guard lock(mutex_);
+  if (trace_enabled()) return false;
+  buffers_.clear();
+  modeled_.clear();
+  session_gen_.fetch_add(1, std::memory_order_relaxed);
+  base_ns_ = MonotonicClock::now_ns();
+  trace_internal::enabled.store(true, std::memory_order_relaxed);
+  return true;
+}
+
+Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
+  ThreadTraceState& state = tls();
+  std::lock_guard lock(mutex_);
+  if (!trace_enabled()) return nullptr;
+  const std::uint64_t gen = session_gen_.load(std::memory_order_relaxed);
+  if (state.gen == gen && state.buffer != nullptr)
+    return static_cast<ThreadBuffer*>(state.buffer);
+  auto buffer = std::make_unique<ThreadBuffer>();
+  buffer->tid = static_cast<std::uint32_t>(buffers_.size() + 1);
+  buffer->name = state.track_name;
+  state.gen = gen;
+  state.buffer = buffer.get();
+  buffers_.push_back(std::move(buffer));
+  return static_cast<ThreadBuffer*>(state.buffer);
+}
+
+void Tracer::record(TraceEvent event) {
+  if (!trace_enabled()) return;
+  ThreadTraceState& state = tls();
+  ThreadBuffer* buffer =
+      state.gen == session_gen_.load(std::memory_order_relaxed) &&
+              state.buffer != nullptr
+          ? static_cast<ThreadBuffer*>(state.buffer)
+          : buffer_for_this_thread();
+  if (buffer != nullptr) buffer->events.push_back(std::move(event));
+}
+
+void Tracer::record_modeled(std::string_view track, TraceEvent event) {
+  if (!trace_enabled()) return;
+  std::lock_guard lock(mutex_);
+  for (auto& [name, events] : modeled_)
+    if (name == track) {
+      events.push_back(std::move(event));
+      return;
+    }
+  modeled_.emplace_back(std::string(track),
+                        std::vector<TraceEvent>{std::move(event)});
+}
+
+void Tracer::set_thread_name(std::string name) {
+  ThreadTraceState& state = tls();
+  state.track_name = std::move(name);
+  if (state.buffer != nullptr && trace_enabled()) {
+    Tracer& tracer = instance();
+    std::lock_guard lock(tracer.mutex_);
+    if (state.gen == tracer.session_gen_.load(std::memory_order_relaxed))
+      static_cast<ThreadBuffer*>(state.buffer)->name = state.track_name;
+  }
+}
+
+std::string Tracer::serialize_locked() {
+  std::string out;
+  out.reserve(1 << 16);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& event) {
+    if (!first) out += ",\n";
+    first = false;
+    out += event;
+  };
+
+  std::string line;
+  append_metadata(line, "process_name", 1, 0, false, "measured");
+  emit(line);
+  line.clear();
+  append_metadata(line, "process_sort_index", 1, 0, false, "0", true);
+  emit(line);
+  if (!modeled_.empty()) {
+    line.clear();
+    append_metadata(line, "process_name", 2, 0, false,
+                    "modeled pipeline (Fig. 12)");
+    emit(line);
+    line.clear();
+    append_metadata(line, "process_sort_index", 2, 0, false, "1", true);
+    emit(line);
+  }
+
+  for (const auto& buffer : buffers_) {
+    line.clear();
+    const std::string name =
+        buffer->name.empty()
+            ? (buffer->tid == 1 ? "main" : "thread-" + std::to_string(
+                                               buffer->tid))
+            : buffer->name;
+    append_metadata(line, "thread_name", 1, buffer->tid, true, name);
+    emit(line);
+    for (const TraceEvent& e : buffer->events) {
+      line.clear();
+      append_event(line, e, 1, buffer->tid, base_ns_);
+      emit(line);
+    }
+  }
+
+  for (std::size_t t = 0; t < modeled_.size(); ++t) {
+    const auto tid = static_cast<std::uint32_t>(t + 1);
+    line.clear();
+    append_metadata(line, "thread_name", 2, tid, true, modeled_[t].first);
+    emit(line);
+    for (const TraceEvent& e : modeled_[t].second) {
+      line.clear();
+      append_event(line, e, 2, tid, /*base_ns=*/0);
+      emit(line);
+    }
+  }
+
+  out += "\n]}\n";
+  return out;
+}
+
+std::string Tracer::stop_json() {
+  std::lock_guard lock(mutex_);
+  trace_internal::enabled.store(false, std::memory_order_relaxed);
+  std::string json = serialize_locked();
+  buffers_.clear();
+  modeled_.clear();
+  return json;
+}
+
+bool Tracer::stop_to_file(const std::string& path) {
+  const std::string json = stop_json();
+  const std::filesystem::path p(path);
+  std::error_code dir_error;
+  if (p.has_parent_path())
+    std::filesystem::create_directories(p.parent_path(), dir_error);
+  std::ofstream out(p);
+  if (dir_error || !out) {
+    std::fprintf(stderr, "trace: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  return static_cast<bool>(out);
+}
+
+void TraceSpan::open(std::string_view name, std::string_view category) {
+  if (active_ || !trace_enabled()) return;
+  active_ = true;
+  event_.phase = 'X';
+  event_.name.assign(name);
+  event_.category.assign(category);
+  event_.ts_ns = MonotonicClock::now_ns();
+}
+
+void TraceSpan::arg(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  event_.args.push_back(targ(key, value));
+}
+
+void TraceSpan::close() {
+  active_ = false;
+  event_.dur_ns = MonotonicClock::now_ns() - event_.ts_ns;
+  Tracer::instance().record(std::move(event_));
+}
+
+void trace_instant(std::string_view name, std::string_view category,
+                   std::initializer_list<TraceArg> args) {
+  if (!trace_enabled()) [[likely]]
+    return;
+  TraceEvent event;
+  event.phase = 'i';
+  event.name.assign(name);
+  event.category.assign(category);
+  event.ts_ns = MonotonicClock::now_ns();
+  event.args.assign(args);
+  Tracer::instance().record(std::move(event));
+}
+
+void trace_counter(std::string_view name, double value) {
+  if (!trace_enabled()) [[likely]]
+    return;
+  TraceEvent event;
+  event.phase = 'C';
+  event.name.assign(name);
+  event.ts_ns = MonotonicClock::now_ns();
+  event.args.push_back(targ("value", value));
+  Tracer::instance().record(std::move(event));
+}
+
+}  // namespace repro::util

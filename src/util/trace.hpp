@@ -1,0 +1,212 @@
+// Low-overhead span tracer emitting Chrome trace-event JSON.
+//
+// The output loads directly in chrome://tracing and Perfetto: one track per
+// real thread (pid 1, "measured"), plus synthetic tracks (pid 2, "modeled
+// pipeline") that reconstruct the paper's Fig. 12 CPU/GPU overlap timeline
+// from the makespan schedule. Event kinds used:
+//   'X' complete   — a span with start + duration (nesting by containment)
+//   'i' instant    — a point event (degradation-ladder transitions, retries)
+//   'C' counter    — a sampled counter track (bin capacity, hit totals)
+//   'M' metadata   — process/thread names (emitted by the serializer)
+//
+// Cost contract: with no session active, every instrumentation site is ONE
+// relaxed atomic load and a branch — no allocation, no clock read, no lock.
+// Tracing must therefore never perturb KernelStats or BLAST results; it
+// only observes. Timestamps come from util::MonotonicClock (timer.hpp), the
+// single clock seam, so the virtual-clock mode tests use applies here too.
+//
+// Threading contract: spans/instants/counters may be recorded from any
+// thread (each thread appends to its own buffer; registration takes a lock
+// once per thread per session). start()/stop_*() are not thread-safe
+// against in-flight recording: callers stop a session only after joining
+// the work it traced, which every session owner in this repo (CLI, search,
+// tests) does anyway.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace repro::util {
+
+namespace trace_internal {
+extern std::atomic<bool> enabled;  ///< mirrors the Tracer session state
+}  // namespace trace_internal
+
+/// The hot-path toggle every instrumented site checks first. Disabled
+/// tracing costs this single relaxed load.
+inline bool trace_enabled() {
+  return trace_internal::enabled.load(std::memory_order_relaxed);
+}
+
+/// One "key": value annotation on an event. `number` emits the value
+/// unquoted (it must already be a valid JSON number token).
+struct TraceArg {
+  std::string key;
+  std::string value;
+  bool number = false;
+};
+
+[[nodiscard]] TraceArg targ(std::string_view key, std::string_view value);
+[[nodiscard]] TraceArg targ(std::string_view key, double value);
+[[nodiscard]] TraceArg targ(std::string_view key, std::uint64_t value);
+[[nodiscard]] TraceArg targ(std::string_view key, std::int64_t value);
+[[nodiscard]] TraceArg targ(std::string_view key, int value);
+
+struct TraceEvent {
+  char phase = 'X';  ///< 'X' complete, 'i' instant, 'C' counter
+  std::string name;
+  std::string category;
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< complete events only
+  std::vector<TraceArg> args;
+};
+
+/// The process-wide trace collector (singleton, like FaultInjector).
+class Tracer {
+ public:
+  static Tracer& instance();
+
+  /// Begins a session (clears prior events). Returns false — and changes
+  /// nothing — if a session is already active, so nested owners (CLI around
+  /// search) compose: the outermost start wins and the inner one joins it.
+  bool start();
+
+  /// Ends the session and returns the serialized Chrome trace JSON.
+  [[nodiscard]] std::string stop_json();
+
+  /// Ends the session and writes the JSON to `path` (false on I/O error).
+  bool stop_to_file(const std::string& path);
+
+  [[nodiscard]] bool enabled() const { return trace_enabled(); }
+
+  /// Appends an event to the calling thread's track. Timestamps are filled
+  /// by the caller (TraceSpan & friends). Dropped when no session is
+  /// active.
+  void record(TraceEvent event);
+
+  /// Appends an event to a synthetic "modeled" track (pid 2). ts_ns/dur_ns
+  /// are offsets from the modeled timeline's zero, not clock readings.
+  void record_modeled(std::string_view track, TraceEvent event);
+
+  /// Names the calling thread's track ("engine-worker-0"). Sticky: applies
+  /// to the current and any later session this thread records into.
+  static void set_thread_name(std::string name);
+
+ private:
+  Tracer() = default;
+
+  struct ThreadBuffer {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::vector<TraceEvent> events;
+  };
+
+  ThreadBuffer* buffer_for_this_thread();
+  std::string serialize_locked();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers_;
+  std::vector<std::pair<std::string, std::vector<TraceEvent>>> modeled_;
+  std::uint64_t base_ns_ = 0;
+  /// Atomic so record()'s lock-free fast path may compare it against the
+  /// thread-local cached generation without taking the registry mutex.
+  std::atomic<std::uint64_t> session_gen_{0};
+};
+
+/// RAII duration span ('X' event on the calling thread's track). The
+/// default constructor plus open() defers the (allocating) name build to an
+/// explicitly trace_enabled()-guarded block:
+///
+///   util::TraceSpan span;                       // inactive, free
+///   if (util::trace_enabled())
+///     span.open("block " + std::to_string(b), "core");
+class TraceSpan {
+ public:
+  TraceSpan() = default;
+  explicit TraceSpan(std::string_view name, std::string_view category = "") {
+    if (trace_enabled()) [[unlikely]]
+      open(name, category);
+  }
+  ~TraceSpan() {
+    if (active_) close();
+  }
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Starts the span now (no-op if already open or no session is active).
+  void open(std::string_view name, std::string_view category = "");
+
+  /// Ends the span before destruction (no-op if inactive) — for spans
+  /// whose natural scope outlives the phase they measure.
+  void end() {
+    if (active_) close();
+  }
+
+  [[nodiscard]] bool active() const { return active_; }
+
+  /// Attaches an annotation (no-op when inactive).
+  void arg(std::string_view key, std::string_view value);
+  void arg(std::string_view key, const char* value) {
+    arg(key, std::string_view(value));
+  }
+  template <class T>
+    requires std::is_arithmetic_v<T>
+  void arg(std::string_view key, T value);
+
+ private:
+  void close();
+
+  bool active_ = false;
+  TraceEvent event_;
+};
+
+template <class T>
+  requires std::is_arithmetic_v<T>
+void TraceSpan::arg(std::string_view key, T value) {
+  if (!active_) return;
+  if constexpr (std::is_floating_point_v<T>)
+    event_.args.push_back(targ(key, static_cast<double>(value)));
+  else if constexpr (std::is_signed_v<T>)
+    event_.args.push_back(targ(key, static_cast<std::int64_t>(value)));
+  else
+    event_.args.push_back(targ(key, static_cast<std::uint64_t>(value)));
+}
+
+/// Records an instant event (thread scope) on the calling thread's track.
+void trace_instant(std::string_view name, std::string_view category,
+                   std::initializer_list<TraceArg> args = {});
+
+/// Samples a counter track.
+void trace_counter(std::string_view name, double value);
+
+/// RAII session for CLI / Config-driven tracing: starts a session on
+/// construction (unless one is already active — then this scope is a
+/// passive participant) and writes the trace to `path` on destruction.
+class TraceSession {
+ public:
+  explicit TraceSession(std::string path)
+      : path_(std::move(path)), owned_(Tracer::instance().start()) {}
+  ~TraceSession() {
+    if (owned_) Tracer::instance().stop_to_file(path_);
+  }
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// True when this scope started (and will write) the session.
+  [[nodiscard]] bool owned() const { return owned_; }
+
+ private:
+  std::string path_;
+  bool owned_;
+};
+
+}  // namespace repro::util
