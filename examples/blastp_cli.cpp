@@ -9,6 +9,12 @@
 //                [--trace=out.json] [--metrics=out.prom]
 //                [--report] [--report-json=out.json]
 //
+// Batch mode: --batch=queries.fasta (instead of --query) answers every
+// query through one core::SearchSession::search_batch — the database is
+// uploaded once and query q+1's GPU phases overlap query q's CPU stage.
+// --report-json then writes ONE cublastp.batch_report.v1 document instead
+// of an array of per-query reports.
+//
 // Observability: --trace records one Chrome-trace session spanning every
 // query (load in chrome://tracing or Perfetto); --metrics exports the
 // process metrics registry (.prom/.txt = Prometheus text, else JSON);
@@ -20,16 +26,18 @@
 //   printf '>q\n...' > q.fasta   (or use database_tools + your own FASTA)
 //   ./blastp_cli --query=q.fasta --db=db.fasta
 #include <cstdio>
-#include <exception>
 #include <fstream>
 #include <optional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "baselines/cpu.hpp"
 #include "bio/fasta.hpp"
 #include "blast/results.hpp"
+#include "common.hpp"
 #include "core/cublastp.hpp"
+#include "core/search_session.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/timer.hpp"
@@ -37,12 +45,78 @@
 
 namespace {
 
-int run(int argc, char** argv) {
-  using namespace repro;
-  util::Options options(argc, argv);
-  if (!options.has("query") || !options.has("db")) {
+using namespace repro;
+
+/// Per-query hazard/degradation warnings; returns true when the analyzer
+/// found hazards (the CLI then exits 3, like cuda-memcheck).
+bool report_query_health(const std::string& query_id, bool simtcheck,
+                         const core::SearchReport& report) {
+  if (simtcheck || report.hazards.total != 0)
+    std::fprintf(stderr, "%s\n", report.hazards.summary().c_str());
+  if (report.degraded())
     std::fprintf(stderr,
-                 "usage: blastp_cli --query=FASTA --db=FASTA "
+                 "blastp_cli: query %s degraded: %llu of %zu blocks fell "
+                 "back to the CPU, %llu cache-off retries, %llu injected "
+                 "faults absorbed (results stay complete)\n",
+                 query_id.c_str(),
+                 static_cast<unsigned long long>(report.degraded_blocks),
+                 report.retry_counts.size(),
+                 static_cast<unsigned long long>(report.cache_off_retries),
+                 static_cast<unsigned long long>(report.faults_encountered));
+  return report.hazards.total != 0;
+}
+
+/// blastp-style output for one query's result.
+void print_query_result(const bio::Sequence& query,
+                        const bio::SequenceDatabase& db,
+                        const blast::SearchResult& result, double elapsed,
+                        std::size_t max_alignments) {
+  if (result.alignments.empty()) {
+    std::printf("***** No hits found *****\n\n");
+    return;
+  }
+  std::printf("Sequences producing significant alignments:  "
+              "(bits)  (e-value)\n");
+  for (std::size_t i = 0;
+       i < std::min<std::size_t>(20, result.alignments.size()); ++i) {
+    const auto& a = result.alignments[i];
+    std::printf("  %-40s %7.1f   %8.1e\n", db.id(a.seq).c_str(), a.bit_score,
+                a.evalue);
+  }
+  std::printf("\n");
+  for (std::size_t i = 0;
+       i < std::min(max_alignments, result.alignments.size()); ++i)
+    std::printf("%s\n",
+                blast::format_alignment(query.residues, db,
+                                        result.alignments[i])
+                    .c_str());
+  std::printf("[%zu hits in %.3f s host wall-clock; %llu hits detected, "
+              "%llu ungapped extensions, %llu gapped]\n\n",
+              result.alignments.size(), elapsed,
+              static_cast<unsigned long long>(result.counters.hits_detected),
+              static_cast<unsigned long long>(
+                  result.counters.ungapped_extensions),
+              static_cast<unsigned long long>(
+                  result.counters.gapped_extensions));
+}
+
+bool write_text_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "blastp_cli: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+int run(int argc, char** argv) {
+  util::Options options(argc, argv);
+  const bool batch_mode = options.has("batch");
+  if ((!options.has("query") && !batch_mode) || !options.has("db")) {
+    std::fprintf(stderr,
+                 "usage: blastp_cli (--query=FASTA | --batch=FASTA) "
+                 "--db=FASTA "
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
                  "[--engine_workers=W] "
@@ -52,46 +126,25 @@ int run(int argc, char** argv) {
     return 2;
   }
 
-  const auto policy = options.has("lenient")
-                          ? bio::FastaPolicy::kLenient
-                          : bio::FastaPolicy::kStrict;
-  bio::FastaWarnings warnings;
-  const auto queries =
-      bio::read_fasta_file(options.get("query", ""), policy, &warnings);
-  const bio::SequenceDatabase db(
-      bio::read_fasta_file(options.get("db", ""), policy, &warnings));
-  if (warnings.total() != 0)
-    std::fprintf(stderr,
-                 "blastp_cli: lenient FASTA parse: %llu unknown residues "
-                 "mapped to X, %llu empty records skipped, %llu empty ids\n",
-                 static_cast<unsigned long long>(warnings.unknown_residues),
-                 static_cast<unsigned long long>(
-                     warnings.empty_records_skipped),
-                 static_cast<unsigned long long>(warnings.empty_ids));
+  const bool lenient = options.has("lenient");
+  const std::string query_path =
+      batch_mode ? options.get("batch", "") : options.get("query", "");
+  const auto queries = examples::load_fasta(query_path, lenient, "blastp_cli");
+  const auto db = examples::load_database(options.get("db", ""), lenient,
+                                          "blastp_cli");
   std::printf("Database: %zu sequences; %llu total letters\n\n", db.size(),
               static_cast<unsigned long long>(db.total_residues()));
 
-  core::Config config;
-  config.params.max_evalue = options.get_double("evalue", 10.0);
-  config.cpu_threads =
-      static_cast<std::size_t>(options.get_int("threads", 4));
-  config.engine_workers =
-      static_cast<int>(options.get_int("engine_workers", 1));
-  const std::string strategy = options.get("strategy", "window");
-  if (strategy == "diagonal")
-    config.strategy = core::ExtensionStrategy::kDiagonal;
-  else if (strategy == "hit")
-    config.strategy = core::ExtensionStrategy::kHit;
-  else
-    config.strategy = core::ExtensionStrategy::kWindow;
-
-  // --simtcheck runs every kernel under the hazard analyzer (racecheck/
-  // synccheck/memcheck; env REPRO_SIMTCHECK=1 does the same).
-  config.simtcheck = options.has("simtcheck");
-
+  const core::Config config = examples::config_from_options(options);
   const std::string engine_name = options.get("engine", "cublastp");
   const auto max_alignments =
       static_cast<std::size_t>(options.get_int("max_alignments", 5));
+  if (batch_mode && engine_name != "cublastp") {
+    std::fprintf(stderr,
+                 "blastp_cli: --batch requires --engine=cublastp (the "
+                 "baseline engines have no batch mode)\n");
+    return 2;
+  }
 
   // One Chrome-trace session spanning every query; search() sees it active
   // and joins rather than starting per-query sessions.
@@ -103,88 +156,81 @@ int run(int argc, char** argv) {
   const bool print_report = options.has("report");
 
   bool hazards_found = false;
-  std::vector<std::string> report_jsons;
-  for (const auto& query : queries) {
-    std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
-                query.length());
-    util::Timer timer;
-    blast::SearchResult result;
-    core::SearchReport report;
-    if (engine_name == "fsa") {
-      result = baselines::fsa_blast_search(query.residues, db,
-                                           config.params);
-    } else if (engine_name == "ncbi") {
-      result = baselines::ncbi_mt_search(query.residues, db, config.params,
-                                         config.cpu_threads);
-    } else {
-      report = core::CuBlastp(config).search(query.residues, db);
-      if (print_report) std::printf("%s\n", report.to_table().c_str());
-      if (!report_json_path.empty())
-        report_jsons.push_back(report.to_json());
-      result = std::move(report.result);
-    }
-    const double elapsed = timer.seconds();
-    if (engine_name == "cublastp" &&
-        (config.simtcheck || report.hazards.total != 0)) {
-      std::fprintf(stderr, "%s\n", report.hazards.summary().c_str());
-      hazards_found |= report.hazards.total != 0;
-    }
-    if (report.degraded())
-      std::fprintf(stderr,
-                   "blastp_cli: query %s degraded: %llu of %zu blocks fell "
-                   "back to the CPU, %llu cache-off retries, %llu injected "
-                   "faults absorbed (results stay complete)\n",
-                   query.id.c_str(),
-                   static_cast<unsigned long long>(report.degraded_blocks),
-                   report.retry_counts.size(),
-                   static_cast<unsigned long long>(report.cache_off_retries),
-                   static_cast<unsigned long long>(
-                       report.faults_encountered));
 
-    if (result.alignments.empty()) {
-      std::printf("***** No hits found *****\n\n");
-      continue;
+  if (batch_mode) {
+    // One session, one batch: the database uploads once, and each query's
+    // CPU stage overlaps the next query's GPU phases.
+    std::vector<std::span<const std::uint8_t>> spans;
+    spans.reserve(queries.size());
+    for (const auto& query : queries) spans.emplace_back(query.residues);
+
+    core::SearchSession session(config, db);
+    const core::BatchReport batch = session.search_batch(spans);
+
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      const auto& report = batch.reports[qi];
+      std::printf("Query= %s (%zu letters)\n\n", queries[qi].id.c_str(),
+                  queries[qi].length());
+      hazards_found |=
+          report_query_health(queries[qi].id, config.simtcheck, report);
+      if (print_report) std::printf("%s\n", report.to_table().c_str());
+      print_query_result(queries[qi], db, report.result,
+                         batch.per_query_wall_seconds[qi], max_alignments);
     }
-    std::printf("Sequences producing significant alignments:  "
-                "(bits)  (e-value)\n");
-    for (std::size_t i = 0;
-         i < std::min<std::size_t>(20, result.alignments.size()); ++i) {
-      const auto& a = result.alignments[i];
-      std::printf("  %-40s %7.1f   %8.1e\n", db.id(a.seq).c_str(),
-                  a.bit_score, a.evalue);
-    }
-    std::printf("\n");
-    for (std::size_t i = 0;
-         i < std::min(max_alignments, result.alignments.size()); ++i)
-      std::printf("%s\n", blast::format_alignment(query.residues, db,
-                                                  result.alignments[i])
-                              .c_str());
-    std::printf("[%zu hits in %.3f s host wall-clock; %llu hits detected, "
-                "%llu ungapped extensions, %llu gapped]\n\n",
-                result.alignments.size(), elapsed,
-                static_cast<unsigned long long>(
-                    result.counters.hits_detected),
-                static_cast<unsigned long long>(
-                    result.counters.ungapped_extensions),
-                static_cast<unsigned long long>(
-                    result.counters.gapped_extensions));
-  }
-  if (!report_json_path.empty()) {
-    std::ofstream out(report_json_path);
-    if (!out) {
-      std::fprintf(stderr, "blastp_cli: cannot write %s\n",
-                   report_json_path.c_str());
+    std::printf(
+        "Batch: %zu queries in %.3f s (%.1f queries/s); database uploaded "
+        "once (%llu of %llu bytes; %.0f amortized bytes/query); modeled "
+        "pipeline %.2f ms batched vs %.2f ms sequential (%.2fx)\n",
+        batch.reports.size(), batch.batch_wall_seconds,
+        batch.queries_per_second(),
+        static_cast<unsigned long long>(batch.h2d_block_bytes),
+        static_cast<unsigned long long>(batch.db_device_bytes),
+        batch.amortized_h2d_bytes_per_query(),
+        batch.modeled_batch_seconds * 1e3,
+        batch.modeled_sequential_seconds * 1e3, batch.modeled_speedup());
+    if (!report_json_path.empty() &&
+        !write_text_file(report_json_path, batch.to_json() + "\n"))
       return 1;
+  } else {
+    std::vector<std::string> report_jsons;
+    for (const auto& query : queries) {
+      std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
+                  query.length());
+      util::Timer timer;
+      blast::SearchResult result;
+      core::SearchReport report;
+      if (engine_name == "fsa") {
+        result =
+            baselines::fsa_blast_search(query.residues, db, config.params);
+      } else if (engine_name == "ncbi") {
+        result = baselines::ncbi_mt_search(query.residues, db, config.params,
+                                           config.cpu_threads);
+      } else {
+        report = core::CuBlastp(config).search(query.residues, db);
+        if (print_report) std::printf("%s\n", report.to_table().c_str());
+        if (!report_json_path.empty())
+          report_jsons.push_back(report.to_json());
+        result = std::move(report.result);
+      }
+      const double elapsed = timer.seconds();
+      if (engine_name == "cublastp")
+        hazards_found |=
+            report_query_health(query.id, config.simtcheck, report);
+      print_query_result(query, db, result, elapsed, max_alignments);
     }
-    // One object per cublastp query, as a JSON array for stability even
-    // with a single query.
-    out << '[';
-    for (std::size_t i = 0; i < report_jsons.size(); ++i) {
-      if (i) out << ',';
-      out << report_jsons[i];
+    if (!report_json_path.empty()) {
+      // One object per cublastp query, as a JSON array for stability even
+      // with a single query.
+      std::string doc = "[";
+      for (std::size_t i = 0; i < report_jsons.size(); ++i) {
+        if (i) doc += ',';
+        doc += report_jsons[i];
+      }
+      doc += "]\n";
+      if (!write_text_file(report_json_path, doc)) return 1;
     }
-    out << "]\n";
   }
+
   if (!metrics_path.empty() &&
       !util::metrics::Registry::instance().write_file(metrics_path)) {
     std::fprintf(stderr, "blastp_cli: cannot write %s\n",
@@ -200,10 +246,5 @@ int run(int argc, char** argv) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  try {
-    return run(argc, argv);
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "blastp_cli: error: %s\n", e.what());
-    return 1;
-  }
+  return examples::run_tool("blastp_cli", [&] { return run(argc, argv); });
 }

@@ -1,6 +1,6 @@
 // Quickstart: the smallest end-to-end cuBLASTP search.
 //
-//   ./quickstart [--query=FASTA] [--db=FASTA]
+//   ./quickstart [--query=FASTA] [--db=FASTA] [--lenient]
 //
 // Without arguments it generates a small synthetic database with planted
 // homologs of a synthetic query, runs the fine-grained cuBLASTP engine,
@@ -9,13 +9,15 @@
 #include <cstdio>
 
 #include "baselines/cpu.hpp"
-#include "bio/fasta.hpp"
 #include "bio/generator.hpp"
 #include "blast/results.hpp"
+#include "common.hpp"
 #include "core/cublastp.hpp"
 #include "util/options.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace repro;
   util::Options options(argc, argv);
 
@@ -23,8 +25,12 @@ int main(int argc, char** argv) {
   bio::Sequence query;
   bio::SequenceDatabase db;
   if (options.has("query") && options.has("db")) {
-    query = bio::read_fasta_file(options.get("query", "")).at(0);
-    db = bio::SequenceDatabase(bio::read_fasta_file(options.get("db", "")));
+    const bool lenient = options.has("lenient");
+    query = examples::load_fasta(options.get("query", ""), lenient,
+                                 "quickstart")
+                .at(0);
+    db = examples::load_database(options.get("db", ""), lenient,
+                                 "quickstart");
   } else {
     query = bio::make_benchmark_query(127);
     auto profile = bio::DatabaseProfile::swissprot_like(500);
@@ -66,4 +72,11 @@ int main(int argc, char** argv) {
               (report.gapped_seconds + report.traceback_seconds) * 1e3,
               report.overlapped_total_seconds * 1e3);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return repro::examples::run_tool("quickstart",
+                                   [&] { return run(argc, argv); });
 }

@@ -9,11 +9,14 @@
 #include <limits>
 
 #include "bio/generator.hpp"
+#include "common.hpp"
 #include "core/cublastp.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   using namespace repro;
   util::Options options(argc, argv);
   const auto query_len =
@@ -91,4 +94,11 @@ int main(int argc, char** argv) {
               "(%.2f ms GPU kernels)\n",
               best_name.c_str(), best_ms);
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return repro::examples::run_tool("strategy_explorer",
+                                   [&] { return run(argc, argv); });
 }

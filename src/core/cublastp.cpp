@@ -1,547 +1,23 @@
 #include "core/cublastp.hpp"
 
-#include <algorithm>
-#include <cstdlib>
-#include <optional>
-#include <stdexcept>
-#include <string>
 #include <utility>
-#include <vector>
 
-#include "bio/karlin.hpp"
-#include "bio/pssm.hpp"
-#include "blast/results.hpp"
-#include "blast/ungapped.hpp"
-#include "blast/wordlookup.hpp"
-#include "core/bins.hpp"
-#include "core/device_data.hpp"
-#include "core/kernels.hpp"
-#include "util/fault.hpp"
-#include "util/makespan.hpp"
-#include "util/metrics.hpp"
-#include "util/timer.hpp"
-#include "util/trace.hpp"
+#include "core/pipeline.hpp"
+#include "core/search_session.hpp"
 
 namespace repro::core {
 
-namespace {
-
-/// Modeled GPU time accumulated in `registry` for one kernel name (ms).
-double kernel_ms(const simt::ProfileRegistry& registry, const char* name) {
-  return registry.has(name) ? registry.at(name).time_ms : 0.0;
-}
-
-/// Everything one database block contributes to the report, whichever rung
-/// of the ladder produced it.
-struct BlockOutcome {
-  std::vector<blast::UngappedExtension> extensions;  ///< global seq indices
-  std::uint64_t hits_detected = 0;
-  std::uint64_t hits_after_filter = 0;
-  std::uint64_t ungapped_extensions = 0;
-  double cpu_fallback_seconds = 0.0;  ///< host critical-phase cost (rung 3)
-};
-
-/// One GPU attempt at a block: H2D, K1 with bounded capacity growth, then
-/// K2-K5 and the D2H copy. Throws simt::DeviceError / std::bad_alloc /
-/// util::FaultInjectedError on device failures, and SearchError with
-/// kBinOverflowExhausted when capacity growth hits its retry or size caps.
-BlockOutcome run_block_on_gpu(simt::Engine& engine, const Config& config,
-                              const QueryDevice& query,
-                              const bio::SequenceDatabase& db,
-                              std::size_t begin, std::size_t end,
-                              std::uint32_t& bin_capacity,
-                              std::uint64_t& overflow_retries) {
-  BlockOutcome out;
-  BlockDevice device_block(db, begin, end);
-  engine.transfer("h2d_block", device_block.h2d_bytes());
-
-  // K1 with overflow-driven capacity growth: a real implementation must
-  // re-run when its fixed-size bins overflow (paper §3.2) — but only a
-  // bounded number of times, and only up to a bounded capacity.
-  for (int retry = 0;; ++retry) {
-    BinGrid bins(config.detection_warps(), config.num_bins_per_warp,
-                 bin_capacity);
-    const DetectionResult detection =
-        launch_hit_detection(engine, config, query, device_block, bins);
-    if (!detection.overflowed) {
-      // K2-K4.
-      AssembledBins assembled = launch_assemble(engine, bins);
-      launch_sort(engine, assembled);
-      FilteredBins filtered = launch_filter(engine, config, assembled);
-
-      // K5.
-      ExtensionResult extension = launch_extension(engine, config, query,
-                                                   device_block, filtered);
-      engine.transfer("d2h_extensions", extension.records_d2h_bytes);
-
-      out.hits_detected = detection.total_hits;
-      out.hits_after_filter = filtered.total_survivors;
-      out.ungapped_extensions = extension.extensions_run;
-      out.extensions = std::move(extension.extensions);
-      for (auto& ext : out.extensions) ext.seq += device_block.first_seq;
-      return out;
-    }
-    ++overflow_retries;
-    if (util::trace_enabled()) {
-      util::trace_instant(
-          "bin_overflow_retry", "degrade",
-          {util::targ("retry", retry),
-           util::targ("capacity", static_cast<std::uint64_t>(bin_capacity))});
-      util::trace_counter("bin_capacity", static_cast<double>(bin_capacity));
-    }
-    if (retry >= config.max_bin_retries)
-      throw SearchError(
-          SearchErrorCode::kBinOverflowExhausted,
-          "bin overflow persisted after " +
-              std::to_string(config.max_bin_retries) + " capacity retries");
-    if (bin_capacity >= config.max_bin_capacity)
-      throw SearchError(SearchErrorCode::kBinOverflowExhausted,
-                        "bin capacity cap (" +
-                            std::to_string(config.max_bin_capacity) +
-                            ") reached while still overflowing");
-    bin_capacity = bin_capacity <= config.max_bin_capacity / 2
-                       ? bin_capacity * 2
-                       : config.max_bin_capacity;
-  }
-}
-
-/// The last rung of the ladder: the block's critical phases on the host,
-/// via the same scalar routines the FSA-BLAST baseline runs. Produces the
-/// same qualifying-extension set as the fine-grained kernels (that is the
-/// reproduction's §4.3 correctness anchor), so a degraded search still
-/// returns complete, bit-identical alignments.
-BlockOutcome run_block_on_cpu(const blast::WordLookup& lookup,
-                              const bio::Pssm& pssm,
-                              const bio::SequenceDatabase& db,
-                              std::size_t begin, std::size_t end,
-                              std::size_t query_length,
-                              const blast::SearchParams& params) {
-  // "core.cpu_fallback" lets chaos tests exhaust the whole ladder.
-  util::fault_point_throw("core.cpu_fallback");
-  util::TraceSpan span("cpu_fallback", "degrade");
-  if (span.active()) {
-    span.arg("first_seq", static_cast<std::uint64_t>(begin));
-    span.arg("end_seq", static_cast<std::uint64_t>(end));
-  }
-  BlockOutcome out;
-  util::Timer timer;
-  blast::TwoHitTracker tracker(query_length + db.max_length() + 2);
-  for (std::size_t i = begin; i < end; ++i) {
-    const auto counters = blast::run_ungapped_phase(
-        lookup, pssm, db.residues(i), static_cast<std::uint32_t>(i), params,
-        tracker, out.extensions);
-    out.hits_detected += counters.hits;
-    out.hits_after_filter += counters.extensions_run;
-    out.ungapped_extensions += counters.extensions_run;
-  }
-  out.cpu_fallback_seconds = timer.seconds();
-  return out;
-}
-
-/// Last finish time in a modeled schedule (its makespan).
-double schedule_finish(std::span<const util::ScheduledTask> tasks) {
-  double finish = 0.0;
-  for (const auto& t : tasks) finish = std::max(finish, t.finish);
-  return finish;
-}
-
-std::uint64_t model_ns(double seconds) {
-  return static_cast<std::uint64_t>(seconds * 1e9);
-}
-
-/// One CPU phase of one block on the modeled timeline: a span per worker
-/// covering that worker's busy window in the greedy schedule (per-task
-/// spans would overwhelm the trace; the task count rides as an arg).
-void emit_modeled_worker_phase(const char* name, std::size_t bi,
-                               double phase_start_s,
-                               std::span<const util::ScheduledTask> tasks,
-                               std::size_t cpu_threads) {
-  std::vector<double> finish(cpu_threads, 0.0);
-  std::vector<std::uint64_t> count(cpu_threads, 0);
-  for (const auto& t : tasks) {
-    finish[t.worker] = std::max(finish[t.worker], t.finish);
-    ++count[t.worker];
-  }
-  for (std::size_t w = 0; w < cpu_threads; ++w) {
-    if (count[w] == 0) continue;
-    util::TraceEvent e;
-    e.phase = 'X';
-    e.name = name;
-    e.category = "modeled";
-    e.ts_ns = model_ns(phase_start_s);
-    e.dur_ns = model_ns(finish[w]);
-    e.args.push_back(util::targ("block", static_cast<std::uint64_t>(bi)));
-    e.args.push_back(util::targ("tasks", count[w]));
-    util::Tracer::instance().record_modeled(
-        "cpu-worker-" + std::to_string(w) + " (modeled)", std::move(e));
-  }
-}
-
-/// One database block on the modeled Fig. 12 timeline (pid 2 of the
-/// trace): the GPU+PCIe chain span, then the CPU fallback (if the block
-/// degraded) and the gapped/traceback phases as per-worker spans of the
-/// same greedy schedule the makespan model priced.
-void emit_modeled_block(std::size_t bi, double gpu_start_s, double gpu_s,
-                        double cpu_start_s, double fallback_s,
-                        std::span<const util::ScheduledTask> gapped,
-                        std::span<const util::ScheduledTask> traceback,
-                        std::size_t cpu_threads) {
-  util::TraceEvent gpu_event;
-  gpu_event.phase = 'X';
-  gpu_event.name = "gpu chain";
-  gpu_event.category = "modeled";
-  gpu_event.ts_ns = model_ns(gpu_start_s);
-  gpu_event.dur_ns = model_ns(gpu_s);
-  gpu_event.args.push_back(
-      util::targ("block", static_cast<std::uint64_t>(bi)));
-  util::Tracer::instance().record_modeled("GPU + PCIe (modeled)",
-                                          std::move(gpu_event));
-
-  double t = cpu_start_s;
-  if (fallback_s > 0.0) {
-    util::TraceEvent e;
-    e.phase = 'X';
-    e.name = "cpu_fallback";
-    e.category = "modeled";
-    e.ts_ns = model_ns(t);
-    e.dur_ns = model_ns(fallback_s);
-    e.args.push_back(util::targ("block", static_cast<std::uint64_t>(bi)));
-    util::Tracer::instance().record_modeled("cpu-worker-0 (modeled)",
-                                            std::move(e));
-    t += fallback_s;
-  }
-  emit_modeled_worker_phase("gapped", bi, t, gapped, cpu_threads);
-  t += schedule_finish(gapped);
-  emit_modeled_worker_phase("traceback", bi, t, traceback, cpu_threads);
-}
-
-}  // namespace
-
-CuBlastp::CuBlastp(Config config) : config_(std::move(config)) {
-  if (config_.num_bins_per_warp <= 0 ||
-      (config_.num_bins_per_warp & (config_.num_bins_per_warp - 1)) != 0)
-    throw std::invalid_argument("num_bins_per_warp must be a power of two");
-  if (config_.db_blocks == 0) config_.db_blocks = 1;
-  if (config_.cpu_threads == 0) config_.cpu_threads = 1;
-  if (config_.bin_capacity == 0) config_.bin_capacity = 256;
-  if (config_.engine_workers < 1) config_.engine_workers = 1;
-  if (config_.max_bin_retries < 0) config_.max_bin_retries = 0;
-  if (config_.max_bin_capacity <
-      static_cast<std::uint32_t>(config_.bin_capacity))
-    config_.max_bin_capacity =
-        static_cast<std::uint32_t>(config_.bin_capacity);
-}
+CuBlastp::CuBlastp(Config config)
+    : config_(normalized_config(std::move(config))) {}
 
 SearchReport CuBlastp::search(std::span<const std::uint8_t> query,
                               const bio::SequenceDatabase& db) const {
-  if (query.size() >= 32768)
-    throw SearchError(
-        SearchErrorCode::kInvalidArgument,
-        "query longer than the 16-bit diagonal field allows");
-  if (db.max_length() >= 65536)
-    throw SearchError(
-        SearchErrorCode::kInvalidArgument,
-        "subject longer than the 16-bit position field allows "
-        "(paper Fig. 7 layout)");
-
-  std::optional<util::FaultScope> fault_scope;
-  if (!config_.fault_schedule.empty())
-    fault_scope.emplace(config_.fault_schedule,
-                        config_.fault_seed != 0 ? config_.fault_seed
-                                                : util::default_fault_seed());
-  const std::uint64_t fires_at_start =
-      util::FaultInjector::instance().total_fires();
-
-  // Observability session: Config::trace_path, else REPRO_TRACE. If an
-  // outer owner (the CLI) already started a session this scope is passive
-  // and the outer owner writes the file.
-  std::string trace_path = config_.trace_path;
-  if (trace_path.empty())
-    if (const char* env = std::getenv("REPRO_TRACE")) trace_path = env;
-  std::optional<util::TraceSession> trace_session;
-  if (!trace_path.empty()) trace_session.emplace(trace_path);
-
-  util::Timer search_timer;
-  util::TraceSpan search_span("cublastp.search", "core");
-  if (search_span.active()) {
-    search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
-    search_span.arg("db_sequences", static_cast<std::uint64_t>(db.size()));
-    search_span.arg("db_blocks", static_cast<std::uint64_t>(config_.db_blocks));
-    search_span.arg("engine_workers", config_.engine_workers);
-  }
-
-  SearchReport report;
-  simt::Engine engine;
-  engine.set_readonly_cache_enabled(config_.use_readonly_cache);
-  engine.set_workers(config_.engine_workers);
-  if (config_.simtcheck) engine.set_simtcheck_enabled(true);
-
-  // --- query preprocessing (the "Other" phase of Fig. 19d) ---------------
-  util::Timer other_timer;
-  util::TraceSpan prep_span("query_prep", "core");
-  blast::WordLookup lookup(query, bio::Blosum62::instance(), config_.params);
-  bio::Pssm pssm(query, bio::Blosum62::instance());
-  bio::EvalueCalculator evalue(bio::blosum62_gapped_11_1(), query.size(),
-                               db.total_residues(), db.size());
-  QueryDevice device_query(query, lookup, pssm);
-  prep_span.end();
-  report.other_seconds += other_timer.seconds();
-  report.h2d_ms += engine.transfer("h2d_query", device_query.h2d_bytes());
-
-  // --- per-block GPU pipeline with the degradation ladder -----------------
-  //
-  // Rung 1: the fine-grained GPU pipeline (bounded bin-capacity growth).
-  // Rung 2: one more GPU attempt with the read-only cache disabled.
-  // Rung 3: the block's critical phases on the CPU (FSA path).
-  //
-  // Every rung produces the same extension set, so alignments stay
-  // bit-identical to a fault-free run however far a block has to fall.
-  const auto blocks = db.split_blocks(config_.db_blocks);
-  struct BlockWork {
-    double gpu_chain_ms = 0.0;  ///< H2D + kernels + D2H for this block
-    double cpu_fallback_seconds = 0.0;
-    std::vector<blast::UngappedExtension> extensions;
-    // Greedy-schedule placements of the CPU tasks, kept only while tracing
-    // so the modeled Fig. 12 timeline can draw per-worker spans.
-    std::vector<util::ScheduledTask> gapped_schedule;
-    std::vector<util::ScheduledTask> traceback_schedule;
-  };
-  std::vector<BlockWork> work(blocks.size());
-  report.retry_counts.assign(blocks.size(), 0);
-
-  std::uint32_t bin_capacity = static_cast<std::uint32_t>(config_.bin_capacity);
-
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const auto [begin, end] = blocks[bi];
-    util::TraceSpan block_span;
-    if (util::trace_enabled()) {
-      block_span.open("db_block " + std::to_string(bi), "core");
-      block_span.arg("first_seq", static_cast<std::uint64_t>(begin));
-      block_span.arg("end_seq", static_cast<std::uint64_t>(end));
-    }
-    const double gpu_ms_before = engine.profile().total_time_ms();
-
-    std::optional<BlockOutcome> outcome;
-    for (int rung = 0; rung < 2 && !outcome; ++rung) {
-      const bool cache_enabled = rung == 0 && config_.use_readonly_cache;
-      Config attempt_config = config_;
-      attempt_config.use_readonly_cache = cache_enabled;
-      engine.set_readonly_cache_enabled(cache_enabled);
-      util::TraceSpan attempt_span;
-      if (util::trace_enabled()) {
-        attempt_span.open("gpu_attempt", "core");
-        attempt_span.arg("rung", rung);
-        attempt_span.arg("readonly_cache", cache_enabled ? "on" : "off");
-      }
-      std::string failure;
-      try {
-        outcome = run_block_on_gpu(engine, attempt_config, device_query, db,
-                                   begin, end, bin_capacity,
-                                   report.bin_overflow_retries);
-      } catch (const SearchError& e) {
-        failure = e.what();
-      } catch (const simt::DeviceError& e) {
-        failure = e.what();
-      } catch (const util::FaultInjectedError& e) {
-        failure = e.what();
-      } catch (const std::bad_alloc&) {
-        failure = "std::bad_alloc";
-      }
-      // Anything else — std::invalid_argument contract violations above
-      // all — propagates: a retry cannot fix a malformed launch, and the
-      // CPU path must not paper over a misconfigured pipeline.
-      if (!outcome) {
-        ++report.retry_counts[bi];
-        if (rung == 0) ++report.cache_off_retries;
-        if (attempt_span.active()) {
-          attempt_span.arg("failed", failure);
-          attempt_span.end();
-          // One instant per ladder transition: rung 0 -> retry with the
-          // read-only cache off, rung 1 -> fall through to the CPU.
-          util::trace_instant(
-              rung == 0 ? "degrade.cache_off_retry"
-                        : "degrade.gpu_exhausted",
-              "degrade",
-              {util::targ("block", static_cast<std::uint64_t>(bi)),
-               util::targ("error", failure)});
-        }
-      }
-    }
-    engine.set_readonly_cache_enabled(config_.use_readonly_cache);
-
-    if (!outcome) {
-      if (util::trace_enabled())
-        util::trace_instant(
-            "degrade.cpu_fallback", "degrade",
-            {util::targ("block", static_cast<std::uint64_t>(bi))});
-      try {
-        outcome = run_block_on_cpu(lookup, pssm, db, begin, end, query.size(),
-                                   config_.params);
-      } catch (const std::exception& e) {
-        throw SearchError(
-            SearchErrorCode::kDegradationExhausted,
-            "block " + std::to_string(bi) +
-                " failed on GPU, on GPU with the cache disabled, and on the "
-                "CPU fallback: " + e.what());
-      }
-      ++report.degraded_blocks;
-    }
-
-    report.result.counters.hits_detected += outcome->hits_detected;
-    report.result.counters.hits_after_filter += outcome->hits_after_filter;
-    report.result.counters.ungapped_extensions +=
-        outcome->ungapped_extensions;
-    work[bi].extensions = std::move(outcome->extensions);
-    work[bi].cpu_fallback_seconds = outcome->cpu_fallback_seconds;
-
-    for (std::size_t s = begin; s < end; ++s)
-      if (db.length(s) >= static_cast<std::size_t>(config_.params.word_length))
-        report.result.counters.words_scanned +=
-            db.length(s) - static_cast<std::size_t>(config_.params.word_length) + 1;
-
-    work[bi].gpu_chain_ms =
-        engine.profile().total_time_ms() - gpu_ms_before;
-    if (util::trace_enabled()) {
-      util::trace_counter(
-          "hits_detected_total",
-          static_cast<double>(report.result.counters.hits_detected));
-      util::trace_counter(
-          "hits_after_filter_total",
-          static_cast<double>(report.result.counters.hits_after_filter));
-    }
-  }
-
-  // --- CPU phases per block (gapped extension + traceback) ----------------
-  std::vector<double> cpu_block_seconds(blocks.size(), 0.0);
-  double fallback_seconds = 0.0;
-  std::vector<blast::Alignment> alignments;
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    util::TraceSpan gapped_span;
-    if (util::trace_enabled()) {
-      gapped_span.open("gapped_stage", "cpu");
-      gapped_span.arg("block", static_cast<std::uint64_t>(bi));
-    }
-    auto stage = blast::process_gapped_stage(pssm, db, work[bi].extensions,
-                                             config_.params, evalue);
-    const double gapped = util::list_schedule_makespan(
-        stage.gapped_task_costs, config_.cpu_threads);
-    const double traceback = util::list_schedule_makespan(
-        stage.traceback_task_costs, config_.cpu_threads);
-    if (gapped_span.active()) {
-      gapped_span.arg("gapped_tasks",
-                      static_cast<std::uint64_t>(
-                          stage.gapped_task_costs.size()));
-      gapped_span.arg("traceback_tasks",
-                      static_cast<std::uint64_t>(
-                          stage.traceback_task_costs.size()));
-      // Keep the greedy placements so the modeled timeline can draw the
-      // per-worker CPU tracks of Fig. 12.
-      work[bi].gapped_schedule =
-          util::list_schedule(stage.gapped_task_costs, config_.cpu_threads);
-      work[bi].traceback_schedule = util::list_schedule(
-          stage.traceback_task_costs, config_.cpu_threads);
-    }
-    report.gapped_seconds += gapped;
-    report.traceback_seconds += traceback;
-    cpu_block_seconds[bi] =
-        gapped + traceback + work[bi].cpu_fallback_seconds;
-    fallback_seconds += work[bi].cpu_fallback_seconds;
-    report.result.counters.gapped_extensions += stage.gapped_extensions;
-    report.result.counters.tracebacks += stage.tracebacks;
-    alignments.insert(alignments.end(),
-                      std::make_move_iterator(stage.alignments.begin()),
-                      std::make_move_iterator(stage.alignments.end()));
-  }
-
-  // --- finalization --------------------------------------------------------
-  {
-    util::TraceSpan finalize_span("finalize", "cpu");
-    util::ScopedAccumulator finalize_time(report.other_seconds);
-    report.result.alignments = std::move(alignments);
-    blast::finalize_results(report.result.alignments, config_.params,
-                            evalue);
-  }
-
-  // --- time bookkeeping ----------------------------------------------------
-  report.profile = engine.profile();
-  report.hazards = engine.hazards();
-  report.detection_ms = kernel_ms(report.profile, kKernelDetection);
-  report.scan_ms = kernel_ms(report.profile, kKernelScan);
-  report.assemble_ms = kernel_ms(report.profile, kKernelAssemble);
-  report.sort_ms = kernel_ms(report.profile, kKernelSort);
-  report.filter_ms = kernel_ms(report.profile, kKernelFilter);
-  report.extension_ms = kernel_ms(report.profile, kKernelExtension);
-  report.h2d_ms = kernel_ms(report.profile, "h2d_query") +
-                  kernel_ms(report.profile, "h2d_block");
-  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions");
-
-  // Pipeline model (paper Fig. 12): the GPU/PCIe chain processes blocks in
-  // order; the CPU phases of block i start when both its GPU chain and the
-  // CPU phases of block i-1 are done. While tracing, the same walk is
-  // emitted as the synthetic "modeled pipeline" process of the trace.
-  double gpu_done_s = 0.0, cpu_done_s = 0.0, serial_s = 0.0;
-  for (std::size_t bi = 0; bi < blocks.size(); ++bi) {
-    const double gpu_s = work[bi].gpu_chain_ms / 1e3;
-    const double gpu_start_s = gpu_done_s;
-    gpu_done_s += gpu_s;
-    const double cpu_start_s = std::max(cpu_done_s, gpu_done_s);
-    cpu_done_s = cpu_start_s + cpu_block_seconds[bi];
-    serial_s += gpu_s + cpu_block_seconds[bi];
-    if (util::trace_enabled())
-      emit_modeled_block(bi, gpu_start_s, gpu_s, cpu_start_s,
-                         work[bi].cpu_fallback_seconds,
-                         work[bi].gapped_schedule,
-                         work[bi].traceback_schedule, config_.cpu_threads);
-  }
-  report.overlapped_total_seconds = cpu_done_s + report.other_seconds;
-  report.serial_total_seconds = serial_s + report.other_seconds;
-
-  // Map into the common PhaseTimings (GPU ms -> seconds). Degraded blocks
-  // fold their host-side critical-phase cost into hit detection, where the
-  // work they replaced lives.
-  report.result.timings.hit_detection =
-      (report.detection_ms + report.scan_ms + report.assemble_ms +
-       report.sort_ms + report.filter_ms) /
-          1e3 +
-      fallback_seconds;
-  report.result.timings.ungapped_extension = report.extension_ms / 1e3;
-  report.result.timings.gapped_extension = report.gapped_seconds;
-  report.result.timings.traceback = report.traceback_seconds;
-  report.result.timings.other =
-      report.other_seconds + (report.h2d_ms + report.d2h_ms) / 1e3;
-
-  report.faults_encountered =
-      util::FaultInjector::instance().total_fires() - fires_at_start;
-  if (util::trace_enabled() && report.faults_encountered > 0)
-    util::trace_instant("faults_absorbed", "degrade",
-                        {util::targ("count", report.faults_encountered)});
-  if (search_span.active()) {
-    search_span.arg("alignments",
-                    static_cast<std::uint64_t>(report.result.alignments.size()));
-    search_span.arg("degraded_blocks", report.degraded_blocks);
-    search_span.arg("faults_absorbed", report.faults_encountered);
-  }
-  search_span.end();
-
-  // Metrics are always on (lock-free recording; see util/metrics.hpp) —
-  // only the export below is gated on a destination being configured.
-  auto& registry = util::metrics::Registry::instance();
-  registry.counter("core.searches").add(1);
-  registry.counter("core.alignments").add(report.result.alignments.size());
-  registry.counter("core.bin_overflow_retries")
-      .add(report.bin_overflow_retries);
-  registry.counter("core.cache_off_retries").add(report.cache_off_retries);
-  registry.counter("core.degraded_blocks").add(report.degraded_blocks);
-  registry.counter("core.faults_absorbed").add(report.faults_encountered);
-  registry.histogram("core.search_wall_seconds")
-      .observe(search_timer.seconds());
-
-  std::string metrics_path = config_.metrics_path;
-  if (metrics_path.empty())
-    if (const char* env = std::getenv("REPRO_METRICS")) metrics_path = env;
-  if (!metrics_path.empty()) registry.write_file(metrics_path);
-
-  return report;
+  // One-shot session: a fresh engine and a fresh database upload, exactly
+  // the pre-session behavior. Callers answering many queries against one
+  // database should hold a SearchSession instead (search_session.hpp) —
+  // it uploads the database once and can overlap queries.
+  SearchSession session(config_, db);
+  return session.search(query);
 }
 
 }  // namespace repro::core

@@ -81,6 +81,11 @@ struct SearchReport {
   [[nodiscard]] std::string to_table() const;
 };
 
+/// One-shot search entry point: each call builds a fresh one-query
+/// SearchSession (fresh engine, fresh database upload), so results and
+/// profiles are private to the call. For many queries against the same
+/// database, hold a core::SearchSession (search_session.hpp) instead — it
+/// keeps the database device-resident across queries and can batch them.
 class CuBlastp {
  public:
   explicit CuBlastp(Config config);

@@ -7,6 +7,7 @@
 #include <string>
 
 #include "core/cublastp.hpp"
+#include "core/search_session.hpp"
 #include "simt/simtcheck.hpp"
 #include "util/json.hpp"
 #include "util/table.hpp"
@@ -171,6 +172,46 @@ std::string SearchReport::to_json() const {
     out += '}';
   }
   out += "]}}";
+  return out;
+}
+
+std::string BatchReport::to_json() const {
+  std::string out;
+  out.reserve(4096 * (reports.size() + 1));
+  out += "{\"schema\":\"cublastp.batch_report.v1\",";
+  append_kv(out, "queries", static_cast<std::uint64_t>(reports.size()));
+  append_kv(out, "batch_wall_seconds", batch_wall_seconds);
+  append_kv(out, "queries_per_second", queries_per_second());
+
+  out += "\"modeled\":{";
+  append_kv(out, "batch_seconds", modeled_batch_seconds);
+  append_kv(out, "sequential_seconds", modeled_sequential_seconds);
+  append_kv(out, "speedup", modeled_speedup(), false);
+  out += "},";
+
+  out += "\"h2d\":{";
+  append_kv(out, "block_bytes_uploaded", h2d_block_bytes);
+  append_kv(out, "block_uploads", h2d_block_uploads);
+  append_kv(out, "db_device_bytes", db_device_bytes);
+  append_kv(out, "amortized_bytes_per_query", amortized_h2d_bytes_per_query(),
+            false);
+  out += "},";
+
+  out += "\"per_query_wall_seconds\":[";
+  for (std::size_t i = 0; i < per_query_wall_seconds.size(); ++i) {
+    if (i) out += ',';
+    out += json_num(per_query_wall_seconds[i]);
+  }
+  out += "],";
+
+  // Full per-query documents, reusing the search_report.v1 schema so every
+  // existing consumer of --report-json keeps working per query.
+  out += "\"reports\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) out += ',';
+    out += reports[i].to_json();
+  }
+  out += "]}";
   return out;
 }
 

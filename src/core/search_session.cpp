@@ -1,0 +1,448 @@
+#include "core/search_session.hpp"
+
+#include <cstdlib>
+#include <future>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/kernels.hpp"
+#include "core/query_context.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace repro::core {
+
+namespace {
+
+/// Modeled GPU time accumulated in `registry` for one kernel name (ms).
+double kernel_ms(const simt::ProfileRegistry& registry, const char* name) {
+  return registry.has(name) ? registry.at(name).time_ms : 0.0;
+}
+
+/// Config::trace_path / Config::metrics_path fall back to the matching
+/// environment toggle when unset.
+std::string path_or_env(const std::string& configured, const char* env_name) {
+  if (!configured.empty()) return configured;
+  if (const char* env = std::getenv(env_name)) return env;
+  return {};
+}
+
+}  // namespace
+
+/// Everything one in-flight query carries between the GPU half (main
+/// thread) and the CPU half (possibly a batch worker thread).
+struct SearchSession::QueryRun {
+  std::size_t query_index = 0;
+  util::Timer wall;  ///< starts when the run is created (GPU-phase entry)
+  double wall_seconds = 0.0;  ///< set when the CPU half completes
+
+  std::optional<QueryContext> ctx;
+  SearchReport report;
+
+  // Snapshots for per-query attribution against the shared engine.
+  simt::ProfileRegistry profile_before;
+  simt::ProfileRegistry profile_delta;  ///< taken when the GPU half ends
+  simt::HazardReport hazards;
+  std::uint64_t fires_before = 0;
+
+  double prep_s = 0.0;
+  std::vector<std::vector<blast::UngappedExtension>> block_extensions;
+  std::vector<double> block_fallback_s;
+  std::vector<double> block_gpu_ms;
+
+  /// CPU-half outputs, reset whole at every run_cpu_phases entry so the
+  /// batch path can re-run the stage after an injected worker fault.
+  struct CpuOut {
+    double gapped_s = 0.0;
+    double traceback_s = 0.0;
+    double finalize_s = 0.0;
+    std::uint64_t gapped_extensions = 0;
+    std::uint64_t tracebacks = 0;
+    std::vector<blast::Alignment> alignments;
+    std::vector<ModeledBlock> modeled;
+  } cpu;
+};
+
+SearchSession::SearchSession(Config config, const bio::SequenceDatabase& db)
+    : config_(normalized_config(std::move(config))),
+      db_(&db),
+      residency_(db, db.split_blocks(config_.db_blocks)) {
+  check_search_limits({}, db);
+  engine_.set_readonly_cache_enabled(config_.use_readonly_cache);
+  engine_.set_workers(config_.engine_workers);
+  if (config_.simtcheck) engine_.set_simtcheck_enabled(true);
+}
+
+std::uint64_t SearchSession::db_device_bytes() const {
+  // Mirrors BlockDevice::h2d_bytes without staging anything: the block's
+  // residues plus its (num_seqs + 1) 32-bit offsets.
+  std::uint64_t bytes = 0;
+  for (std::size_t bi = 0; bi < residency_.num_blocks(); ++bi) {
+    const auto [begin, end] = residency_.range(bi);
+    bytes += db_->offsets()[end] - db_->offsets()[begin];
+    bytes += (end - begin + 1) * sizeof(std::uint32_t);
+  }
+  return bytes;
+}
+
+void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
+                                   QueryRun& run, std::size_t query_index) {
+  run.query_index = query_index;
+  run.fires_before = util::FaultInjector::instance().total_fires();
+  run.profile_before = engine_.profile();
+  engine_.clear_hazards();
+
+  // --- stage 1: query preparation (the "Other" phase of Fig. 19d) --------
+  {
+    util::Timer prep_timer;
+    util::TraceSpan prep_span("query_prep", "core");
+    run.ctx.emplace(query, *db_, config_);
+    prep_span.end();
+    run.prep_s = prep_timer.seconds();
+  }
+  engine_.transfer("h2d_query", run.ctx->device.h2d_bytes());
+
+  const std::size_t num_blocks = residency_.num_blocks();
+  run.report.retry_counts.assign(num_blocks, 0);
+  run.block_extensions.resize(num_blocks);
+  run.block_fallback_s.assign(num_blocks, 0.0);
+  run.block_gpu_ms.assign(num_blocks, 0.0);
+
+  // Bin capacity starts from the configured value for every query (growth
+  // is a per-search adaptation, so session results match one-shot runs).
+  std::uint32_t bin_capacity = static_cast<std::uint32_t>(config_.bin_capacity);
+
+  // --- stages 2+3: residency + the degradation ladder, block by block ----
+  for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+    const auto [begin, end] = residency_.range(bi);
+    util::TraceSpan block_span;
+    if (util::trace_enabled()) {
+      block_span.open("db_block " + std::to_string(bi), "core");
+      block_span.arg("first_seq", static_cast<std::uint64_t>(begin));
+      block_span.arg("end_seq", static_cast<std::uint64_t>(end));
+    }
+    const double gpu_ms_before = engine_.profile().total_time_ms();
+
+    BlockLadderResult ladder =
+        run_block_ladder(engine_, config_, *run.ctx, *db_, residency_, bi,
+                         bin_capacity, run.report.bin_overflow_retries);
+
+    run.report.retry_counts[bi] = ladder.failed_attempts;
+    if (ladder.cache_off_retry) ++run.report.cache_off_retries;
+    if (ladder.degraded) ++run.report.degraded_blocks;
+
+    auto& counters = run.report.result.counters;
+    counters.hits_detected += ladder.outcome.hits_detected;
+    counters.hits_after_filter += ladder.outcome.hits_after_filter;
+    counters.ungapped_extensions += ladder.outcome.ungapped_extensions;
+    run.block_extensions[bi] = std::move(ladder.outcome.extensions);
+    run.block_fallback_s[bi] = ladder.outcome.cpu_fallback_seconds;
+
+    for (std::size_t s = begin; s < end; ++s)
+      if (db_->length(s) >=
+          static_cast<std::size_t>(config_.params.word_length))
+        counters.words_scanned +=
+            db_->length(s) -
+            static_cast<std::size_t>(config_.params.word_length) + 1;
+
+    run.block_gpu_ms[bi] = engine_.profile().total_time_ms() - gpu_ms_before;
+    if (util::trace_enabled()) {
+      util::trace_counter("hits_detected_total",
+                          static_cast<double>(counters.hits_detected));
+      util::trace_counter("hits_after_filter_total",
+                          static_cast<double>(counters.hits_after_filter));
+    }
+  }
+
+  // Attribute this query's engine work now: the CPU half never touches the
+  // engine, but in a batch the next query's kernels run before this
+  // query's report is assembled.
+  run.profile_delta = engine_.profile().diff(run.profile_before);
+  run.hazards = engine_.hazards();
+}
+
+void SearchSession::run_cpu_phases(QueryRun& run) {
+  run.cpu = {};
+  const std::size_t num_blocks = residency_.num_blocks();
+
+  // --- stage 4: gapped extension + traceback, block by block -------------
+  for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+    util::TraceSpan gapped_span;
+    if (util::trace_enabled()) {
+      gapped_span.open("gapped_stage", "cpu");
+      gapped_span.arg("block", static_cast<std::uint64_t>(bi));
+    }
+    BlockCpuResult stage = run_block_cpu_stage(
+        *run.ctx, *db_, run.block_extensions[bi], config_);
+    if (gapped_span.active()) {
+      gapped_span.arg("gapped_tasks",
+                      static_cast<std::uint64_t>(stage.gapped_schedule.size()));
+      gapped_span.arg(
+          "traceback_tasks",
+          static_cast<std::uint64_t>(stage.traceback_schedule.size()));
+    }
+    run.cpu.gapped_s += stage.gapped_makespan_seconds;
+    run.cpu.traceback_s += stage.traceback_makespan_seconds;
+    run.cpu.gapped_extensions += stage.gapped_extensions;
+    run.cpu.tracebacks += stage.tracebacks;
+
+    ModeledBlock modeled;
+    modeled.query_index = run.query_index;
+    modeled.block_index = bi;
+    modeled.gpu_s = run.block_gpu_ms[bi] / 1e3;
+    modeled.cpu_s = stage.gapped_makespan_seconds +
+                    stage.traceback_makespan_seconds +
+                    run.block_fallback_s[bi];
+    modeled.fallback_s = run.block_fallback_s[bi];
+    modeled.gapped_schedule = std::move(stage.gapped_schedule);
+    modeled.traceback_schedule = std::move(stage.traceback_schedule);
+    run.cpu.modeled.push_back(std::move(modeled));
+
+    run.cpu.alignments.insert(
+        run.cpu.alignments.end(),
+        std::make_move_iterator(stage.alignments.begin()),
+        std::make_move_iterator(stage.alignments.end()));
+  }
+
+  // --- stage 5: finalization ---------------------------------------------
+  run.cpu.finalize_s = run_finalize(run.cpu.alignments, *run.ctx, config_);
+  run.wall_seconds = run.wall.seconds();
+}
+
+void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
+  SearchReport& report = run.report;
+  report.result.alignments = std::move(run.cpu.alignments);
+  report.gapped_seconds = run.cpu.gapped_s;
+  report.traceback_seconds = run.cpu.traceback_s;
+  report.result.counters.gapped_extensions = run.cpu.gapped_extensions;
+  report.result.counters.tracebacks = run.cpu.tracebacks;
+  report.other_seconds = run.prep_s + run.cpu.finalize_s;
+
+  report.profile = std::move(run.profile_delta);
+  report.hazards = std::move(run.hazards);
+  report.detection_ms = kernel_ms(report.profile, kKernelDetection);
+  report.scan_ms = kernel_ms(report.profile, kKernelScan);
+  report.assemble_ms = kernel_ms(report.profile, kKernelAssemble);
+  report.sort_ms = kernel_ms(report.profile, kKernelSort);
+  report.filter_ms = kernel_ms(report.profile, kKernelFilter);
+  report.extension_ms = kernel_ms(report.profile, kKernelExtension);
+  report.h2d_ms = kernel_ms(report.profile, "h2d_query") +
+                  kernel_ms(report.profile, "h2d_block");
+  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions");
+
+  const PipelineTotals totals =
+      walk_pipeline(run.cpu.modeled, config_.cpu_threads, emit_modeled_trace);
+  report.overlapped_total_seconds = totals.overlapped_s + report.other_seconds;
+  report.serial_total_seconds = totals.serial_s + report.other_seconds;
+
+  double fallback_seconds = 0.0;
+  for (const double s : run.block_fallback_s) fallback_seconds += s;
+
+  // Map into the common PhaseTimings (GPU ms -> seconds). Degraded blocks
+  // fold their host-side critical-phase cost into hit detection, where the
+  // work they replaced lives.
+  report.result.timings.hit_detection =
+      (report.detection_ms + report.scan_ms + report.assemble_ms +
+       report.sort_ms + report.filter_ms) /
+          1e3 +
+      fallback_seconds;
+  report.result.timings.ungapped_extension = report.extension_ms / 1e3;
+  report.result.timings.gapped_extension = report.gapped_seconds;
+  report.result.timings.traceback = report.traceback_seconds;
+  report.result.timings.other =
+      report.other_seconds + (report.h2d_ms + report.d2h_ms) / 1e3;
+
+  report.faults_encountered =
+      util::FaultInjector::instance().total_fires() - run.fires_before;
+  if (util::trace_enabled() && report.faults_encountered > 0)
+    util::trace_instant("faults_absorbed", "degrade",
+                        {util::targ("count", report.faults_encountered)});
+
+  // Metrics are always on (lock-free recording; see util/metrics.hpp) —
+  // only the export is gated on a destination being configured.
+  auto& registry = util::metrics::Registry::instance();
+  registry.counter("core.searches").add(1);
+  registry.counter("core.alignments").add(report.result.alignments.size());
+  registry.counter("core.bin_overflow_retries")
+      .add(report.bin_overflow_retries);
+  registry.counter("core.cache_off_retries").add(report.cache_off_retries);
+  registry.counter("core.degraded_blocks").add(report.degraded_blocks);
+  registry.counter("core.faults_absorbed").add(report.faults_encountered);
+  registry.histogram("core.search_wall_seconds").observe(run.wall_seconds);
+}
+
+void SearchSession::export_metrics() const {
+  const std::string metrics_path =
+      path_or_env(config_.metrics_path, "REPRO_METRICS");
+  if (!metrics_path.empty())
+    util::metrics::Registry::instance().write_file(metrics_path);
+}
+
+SearchReport SearchSession::search(std::span<const std::uint8_t> query) {
+  check_search_limits(query, *db_);
+
+  std::optional<util::FaultScope> fault_scope;
+  if (!config_.fault_schedule.empty())
+    fault_scope.emplace(config_.fault_schedule,
+                        config_.fault_seed != 0 ? config_.fault_seed
+                                                : util::default_fault_seed());
+
+  // Observability session: Config::trace_path, else REPRO_TRACE. If an
+  // outer owner (the CLI) already started a session this scope is passive
+  // and the outer owner writes the file.
+  const std::string trace_path = path_or_env(config_.trace_path, "REPRO_TRACE");
+  std::optional<util::TraceSession> trace_session;
+  if (!trace_path.empty()) trace_session.emplace(trace_path);
+
+  QueryRun run;
+  util::TraceSpan search_span("cublastp.search", "core");
+  if (search_span.active()) {
+    search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
+    search_span.arg("db_sequences", static_cast<std::uint64_t>(db_->size()));
+    search_span.arg("db_blocks",
+                    static_cast<std::uint64_t>(config_.db_blocks));
+    search_span.arg("engine_workers", config_.engine_workers);
+  }
+
+  run_gpu_phases(query, run, 0);
+  run_cpu_phases(run);
+  finish_report(run, /*emit_modeled_trace=*/true);
+
+  if (search_span.active()) {
+    search_span.arg(
+        "alignments",
+        static_cast<std::uint64_t>(run.report.result.alignments.size()));
+    search_span.arg("degraded_blocks", run.report.degraded_blocks);
+    search_span.arg("faults_absorbed", run.report.faults_encountered);
+  }
+  search_span.end();
+
+  export_metrics();
+  return std::move(run.report);
+}
+
+BatchReport SearchSession::search_batch(
+    std::span<const std::span<const std::uint8_t>> queries) {
+  BatchReport batch;
+  if (queries.empty()) return batch;
+  // Fail fast on any invalid query before any work is scheduled.
+  for (const auto& query : queries) check_search_limits(query, *db_);
+
+  // One fault scope around the whole batch: the schedule's fire counters
+  // run across all queries, like one long-lived service would see.
+  std::optional<util::FaultScope> fault_scope;
+  if (!config_.fault_schedule.empty())
+    fault_scope.emplace(config_.fault_schedule,
+                        config_.fault_seed != 0 ? config_.fault_seed
+                                                : util::default_fault_seed());
+
+  const std::string trace_path = path_or_env(config_.trace_path, "REPRO_TRACE");
+  std::optional<util::TraceSession> trace_session;
+  if (!trace_path.empty()) trace_session.emplace(trace_path);
+
+  const std::uint64_t uploads_before = residency_.uploads();
+  const std::uint64_t bytes_before = residency_.uploaded_bytes();
+
+  util::Timer batch_timer;
+  util::TraceSpan batch_span("cublastp.search_batch", "core");
+  if (batch_span.active()) {
+    batch_span.arg("queries", static_cast<std::uint64_t>(queries.size()));
+    batch_span.arg("db_sequences", static_cast<std::uint64_t>(db_->size()));
+    batch_span.arg("db_blocks", static_cast<std::uint64_t>(config_.db_blocks));
+    batch_span.arg("engine_workers", config_.engine_workers);
+  }
+
+  // Cross-query overlap (Fig. 12 generalized): the main thread drives
+  // query q+1's GPU phases while one worker drains query q's engine-free
+  // CPU stage. A single worker keeps the CPU stages in query order, which
+  // is also what the real pipeline's one-CPU-resource model assumes.
+  std::vector<std::unique_ptr<QueryRun>> runs(queries.size());
+  std::vector<std::future<void>> cpu_done(queries.size());
+  {
+    util::ThreadPool cpu_pool(1, "batch-cpu");
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      runs[qi] = std::make_unique<QueryRun>();
+      util::TraceSpan query_span;
+      if (util::trace_enabled()) {
+        query_span.open("batch.query " + std::to_string(qi), "core");
+        query_span.arg("query_length",
+                       static_cast<std::uint64_t>(queries[qi].size()));
+      }
+      run_gpu_phases(queries[qi], *runs[qi], qi);
+      QueryRun* run = runs[qi].get();
+      cpu_done[qi] = cpu_pool.submit([this, run] { run_cpu_phases(*run); });
+    }
+    for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+      try {
+        cpu_done[qi].get();
+      } catch (...) {
+        // The CPU stage is engine-free and resets its outputs at entry, so
+        // a worker-side failure (an injected fault, an allocation failure)
+        // is retried inline; a second failure propagates to the caller.
+        run_cpu_phases(*runs[qi]);
+      }
+    }
+  }
+
+  for (auto& run : runs) finish_report(*run, /*emit_modeled_trace=*/false);
+
+  batch.reports.reserve(queries.size());
+  batch.per_query_wall_seconds.reserve(queries.size());
+  std::vector<ModeledQuery> modeled(queries.size());
+  for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+    modeled[qi].prep_s = runs[qi]->prep_s;
+    modeled[qi].finalize_s = runs[qi]->cpu.finalize_s;
+    modeled[qi].blocks = std::move(runs[qi]->cpu.modeled);
+    batch.per_query_wall_seconds.push_back(runs[qi]->wall_seconds);
+    batch.reports.push_back(std::move(runs[qi]->report));
+  }
+
+  batch.batch_wall_seconds = batch_timer.seconds();
+  batch.h2d_block_uploads = residency_.uploads() - uploads_before;
+  batch.h2d_block_bytes = residency_.uploaded_bytes() - bytes_before;
+  batch.db_device_bytes = db_device_bytes();
+
+  batch.modeled_batch_seconds =
+      walk_batch_pipeline(modeled, config_.cpu_threads);
+  // What N one-shot sessions would model: each query runs its own Fig. 12
+  // walk (already in overlapped_total_seconds) and pays the full database
+  // upload, priced by the same PCIe model, minus whatever upload time its
+  // profile already contains.
+  double full_upload_ms = 0.0;
+  for (std::size_t bi = 0; bi < residency_.num_blocks(); ++bi) {
+    const auto [begin, end] = residency_.range(bi);
+    const std::uint64_t block_bytes =
+        db_->offsets()[end] - db_->offsets()[begin] +
+        (end - begin + 1) * sizeof(std::uint32_t);
+    full_upload_ms += engine_.cost_model().transfer_ms(engine_.spec(),
+                                                       block_bytes);
+  }
+  for (const auto& report : batch.reports)
+    batch.modeled_sequential_seconds +=
+        report.overlapped_total_seconds +
+        (full_upload_ms - kernel_ms(report.profile, "h2d_block")) / 1e3;
+
+  if (batch_span.active()) {
+    batch_span.arg("h2d_block_bytes", batch.h2d_block_bytes);
+    batch_span.arg("modeled_batch_seconds", batch.modeled_batch_seconds);
+    batch_span.arg("modeled_sequential_seconds",
+                   batch.modeled_sequential_seconds);
+  }
+  batch_span.end();
+
+  auto& registry = util::metrics::Registry::instance();
+  registry.counter("core.batches").add(1);
+  registry.counter("core.batch_queries").add(queries.size());
+  registry.histogram("core.batch_wall_seconds")
+      .observe(batch.batch_wall_seconds);
+  export_metrics();
+  return batch;
+}
+
+}  // namespace repro::core

@@ -45,6 +45,53 @@ void ProfileRegistry::add(const KernelStats& stats) {
   if (!inserted) it->second.merge(stats);
 }
 
+ProfileRegistry ProfileRegistry::diff(const ProfileRegistry& baseline) const {
+  ProfileRegistry delta;
+  for (const auto& [name, after] : kernels_) {
+    if (!baseline.has(name)) {
+      // Same no-work drop as below, so a zero-byte transfer is absent from
+      // the delta whether or not the baseline ever saw the kernel — a
+      // fresh engine's first search and a warm session's Nth search
+      // produce the same kernel set for the same query.
+      const bool saw_work = after.num_blocks != 0 || after.vec_ops != 0 ||
+                            after.st_bytes_requested != 0 ||
+                            after.time_ms != 0.0;
+      if (saw_work) delta.kernels_.emplace(name, after);
+      continue;
+    }
+    const KernelStats& before = baseline.at(name);
+    KernelStats d = after;
+    d.vec_ops -= before.vec_ops;
+    d.active_lane_sum -= before.active_lane_sum;
+    d.ld_requests -= before.ld_requests;
+    d.ld_bytes_requested -= before.ld_bytes_requested;
+    d.ld_transactions -= before.ld_transactions;
+    d.st_requests -= before.st_requests;
+    d.st_bytes_requested -= before.st_bytes_requested;
+    d.st_transactions -= before.st_transactions;
+    d.rocache_hits -= before.rocache_hits;
+    d.rocache_misses -= before.rocache_misses;
+    d.shared_ops -= before.shared_ops;
+    d.shared_conflict_passes -= before.shared_conflict_passes;
+    d.atomic_ops -= before.atomic_ops;
+    d.atomic_serial_passes -= before.atomic_serial_passes;
+    d.simtcheck_hazards -= before.simtcheck_hazards;
+    d.num_blocks -= before.num_blocks;
+    d.time_ms -= before.time_ms;
+    // occupancy * num_blocks is additive under merge()'s weighting, so the
+    // snapshot-window average is recoverable exactly.
+    if (d.num_blocks > 0)
+      d.occupancy =
+          (after.occupancy * static_cast<double>(after.num_blocks) -
+           before.occupancy * static_cast<double>(before.num_blocks)) /
+          static_cast<double>(d.num_blocks);
+    const bool saw_work = d.num_blocks != 0 || d.vec_ops != 0 ||
+                          d.st_bytes_requested != 0 || d.time_ms != 0.0;
+    if (saw_work) delta.kernels_.emplace(name, std::move(d));
+  }
+  return delta;
+}
+
 double ProfileRegistry::total_time_ms() const {
   double total = 0.0;
   for (const auto& [name, stats] : kernels_) total += stats.time_ms;

@@ -115,6 +115,15 @@ class ProfileRegistry {
   /// Sum of modeled kernel time across all launches (ms).
   [[nodiscard]] double total_time_ms() const;
 
+  /// The per-kernel difference against an earlier snapshot of the same
+  /// registry: every additive counter (and time_ms) is subtracted, and
+  /// kernels that saw no work since the snapshot are dropped — so a
+  /// long-lived engine (a SearchSession) can attribute exactly one
+  /// search's launches to that search's report. Occupancy is recovered
+  /// from the block-weighted average merge() maintains; shared_bytes (a
+  /// running max) keeps the current value.
+  [[nodiscard]] ProfileRegistry diff(const ProfileRegistry& baseline) const;
+
  private:
   std::map<std::string, KernelStats> kernels_;
 };
