@@ -99,19 +99,48 @@ std::string provenance_json(const core::Config& config) {
     strategy = "diagonal";
   else if (config.strategy == core::ExtensionStrategy::kHit)
     strategy = "hit";
+  const char* scoring = "auto";
+  if (config.scoring == core::ScoringMode::kPssm)
+    scoring = "pssm";
+  else if (config.scoring == core::ScoringMode::kBlosum)
+    scoring = "blosum";
+  const auto& p = config.params;
+  // The FULL effective config: a result file found later must be
+  // reproducible from its own provenance, not the shell history. Every
+  // tunable that can change a measurement is embedded.
   std::ostringstream json;
   json << "{\"git_sha\": \"" << REPRO_GIT_SHA << "\", \"build_type\": \""
        << REPRO_BUILD_TYPE << "\", \"compiler\": \"" << __VERSION__
        << "\", \"config\": {\"engine_workers\": " << config.engine_workers
        << ", \"num_bins_per_warp\": " << config.num_bins_per_warp
-       << ", \"strategy\": \"" << strategy
-       << "\", \"readonly_cache\": "
+       << ", \"strategy\": \"" << strategy << "\", \"scoring\": \"" << scoring
+       << "\", \"window_size\": " << config.window_size
+       << ", \"readonly_cache\": "
        << (config.use_readonly_cache ? "true" : "false")
        << ", \"db_blocks\": " << config.db_blocks
        << ", \"cpu_threads\": " << config.cpu_threads
        << ", \"detection_blocks\": " << config.detection_blocks
        << ", \"detection_block_threads\": " << config.detection_block_threads
-       << "}}";
+       << ", \"bin_capacity\": " << config.bin_capacity
+       << ", \"max_bin_retries\": " << config.max_bin_retries
+       << ", \"max_bin_capacity\": " << config.max_bin_capacity
+       << ", \"auto_pssm_max_query\": " << config.auto_pssm_max_query
+       << ", \"simtcheck\": " << (config.simtcheck ? "true" : "false")
+       << ", \"prefilter\": \""
+       << core::prefilter_mode_name(config.prefilter)
+       << "\", \"prefilter_threshold\": " << config.prefilter_threshold
+       << ", \"prefilter_backend_switch\": "
+       << config.prefilter_backend_switch
+       << ", \"params\": {\"word_length\": " << p.word_length
+       << ", \"neighbor_threshold\": " << p.neighbor_threshold
+       << ", \"two_hit_window\": " << p.two_hit_window
+       << ", \"ungapped_xdrop\": " << p.ungapped_xdrop
+       << ", \"ungapped_cutoff\": " << p.ungapped_cutoff
+       << ", \"gapped_xdrop\": " << p.gapped_xdrop
+       << ", \"gap_open\": " << p.gap_open
+       << ", \"gap_extend\": " << p.gap_extend
+       << ", \"max_evalue\": " << p.max_evalue
+       << ", \"one_hit\": " << (p.one_hit ? "true" : "false") << "}}}";
   return json.str();
 }
 

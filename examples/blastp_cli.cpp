@@ -5,21 +5,28 @@
 //                [--evalue=10] [--engine=cublastp|fsa|ncbi]
 //                [--strategy=window|diagonal|hit] [--threads=4]
 //                [--engine_workers=1] [--max_alignments=5]
+//                [--prefilter=off|on|auto] [--prefilter-threshold=N]
 //                [--lenient] [--simtcheck]
 //                [--trace=out.json] [--metrics=out.prom]
 //                [--report] [--report-json=out.json]
 //
+// --prefilter enables the lossless SSV pre-filter (results stay
+// bit-identical; DESIGN.md §13); auto additionally routes dense blocks to
+// the coarse backend. --prefilter-threshold overrides the calibrated
+// cutoff (0 = derive from Karlin statistics; raising it above the derived
+// value voids the losslessness guarantee).
+//
 // Batch mode: --batch=queries.fasta (instead of --query) answers every
 // query through one core::SearchSession::search_batch — the database is
 // uploaded once and query q+1's GPU phases overlap query q's CPU stage.
-// --report-json then writes ONE cublastp.batch_report.v1 document instead
+// --report-json then writes ONE cublastp.batch_report.v2 document instead
 // of an array of per-query reports.
 //
 // Observability: --trace records one Chrome-trace session spanning every
 // query (load in chrome://tracing or Perfetto); --metrics exports the
 // process metrics registry (.prom/.txt = Prometheus text, else JSON);
 // --report prints the per-query phase/counter tables; --report-json writes
-// the structured run report(s) (schema cublastp.search_report.v1).
+// the structured run report(s) (schema cublastp.search_report.v2).
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
@@ -63,6 +70,13 @@ bool report_query_health(const std::string& query_id, bool simtcheck,
                  report.retry_counts.size(),
                  static_cast<unsigned long long>(report.cache_off_retries),
                  static_cast<unsigned long long>(report.faults_encountered));
+  if (report.prefilter_degraded_blocks != 0)
+    std::fprintf(
+        stderr,
+        "blastp_cli: query %s: pre-filter skipped on %llu blocks (served "
+        "unfiltered; results stay complete)\n",
+        query_id.c_str(),
+        static_cast<unsigned long long>(report.prefilter_degraded_blocks));
   return report.hazards.total != 0;
 }
 
@@ -120,6 +134,7 @@ int run(int argc, char** argv) {
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
                  "[--engine_workers=W] "
+                 "[--prefilter=off|on|auto] [--prefilter-threshold=N] "
                  "[--max_alignments=N] [--lenient] [--simtcheck] "
                  "[--trace=PATH] [--metrics=PATH] [--report] "
                  "[--report-json=PATH]\n");

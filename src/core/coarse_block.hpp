@@ -1,0 +1,51 @@
+// The fused coarse kernel (paper §3.1 / Algorithm 1) as a reusable
+// per-block unit: one lane = one subject sequence, hit detection + two-hit
+// logic + inline ungapped extension run to completion in a single launch.
+// Historically this lived inside the coarse baselines; it moved here so the
+// adaptive pre-filter router (DESIGN.md §13) can serve dense database
+// blocks with it, while `baselines::CoarseSession` keeps calling the same
+// code for the CUDA-BLASTP / GPU-BLASTP reproductions.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "blast/types.hpp"
+#include "core/device_data.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+/// Profile-registry name of the fused kernel (shared with the baselines).
+inline constexpr const char* kKernelCoarse = "coarse_fused";
+
+struct CoarseBlockConfig {
+  blast::SearchParams params;
+  int grid_blocks = 8;
+  int block_threads = 128;
+  /// GPU-BLASTP's atomic work queue vs CUDA-BLASTP's static assignment.
+  /// The core router always uses the static assignment (deterministic for
+  /// any engine worker count); the baselines choose per reproduction.
+  bool dynamic_queue = false;
+};
+
+struct CoarseBlockOutput {
+  /// Qualifying extensions (score >= ungapped_cutoff), seq ids block-local.
+  std::vector<blast::UngappedExtension> extensions;
+  std::uint64_t d2h_bytes = 0;
+  std::uint64_t hits_detected = 0;
+  std::uint64_t extensions_run = 0;  ///< two-hit triggers (extension calls)
+  bool overflowed = false;           ///< output capacity exhausted; retry
+};
+
+/// Runs the fused kernel over one resident block with a fixed per-grid-block
+/// output capacity. On overflow the partial output is discarded and
+/// `overflowed` is set; callers own the grow-and-retry policy.
+[[nodiscard]] CoarseBlockOutput run_coarse_block(simt::Engine& engine,
+                                                 const CoarseBlockConfig& config,
+                                                 const QueryDevice& query,
+                                                 const BlockDevice& block,
+                                                 std::uint32_t output_capacity);
+
+}  // namespace repro::core

@@ -29,6 +29,8 @@ struct SearchReport {
   double sort_ms = 0.0;
   double filter_ms = 0.0;
   double extension_ms = 0.0;
+  double prefilter_ms = 0.0;  ///< SSV pre-filter kernel (DESIGN.md §13)
+  double coarse_ms = 0.0;     ///< fused coarse backend (auto-mode routing)
   double h2d_ms = 0.0;
   double d2h_ms = 0.0;
 
@@ -57,13 +59,30 @@ struct SearchReport {
   std::vector<std::uint32_t> retry_counts;  ///< per block: failed attempts
   std::uint64_t faults_encountered = 0;     ///< injected faults absorbed
 
+  // Pre-filter observability (DESIGN.md §13): what the filter measured and
+  // which backend served each block. All zero / kFine when the filter is
+  // off — results are bit-identical in every mode.
+  PrefilterMode prefilter_mode = PrefilterMode::kOff;
+  int prefilter_threshold = 0;             ///< effective calibrated threshold
+  std::uint64_t prefilter_sequences = 0;   ///< sequences the filter scored
+  std::uint64_t prefilter_survivors = 0;   ///< sequences that passed
+  std::vector<BlockBackend> block_backends;  ///< per block: who served it
+  std::uint64_t prefilter_degraded_blocks = 0;  ///< filter failed, ran unfiltered
+
+  [[nodiscard]] double prefilter_pass_rate() const {
+    return prefilter_sequences == 0
+               ? 0.0
+               : static_cast<double>(prefilter_survivors) /
+                     static_cast<double>(prefilter_sequences);
+  }
+
   [[nodiscard]] bool degraded() const {
     return degraded_blocks != 0 || cache_off_retries != 0;
   }
 
   [[nodiscard]] double gpu_critical_ms() const {
     return detection_ms + scan_ms + assemble_ms + sort_ms + filter_ms +
-           extension_ms;
+           extension_ms + prefilter_ms + coarse_ms;
   }
   /// "Hit sorting" as the paper groups it in Fig. 14: assembling + scan +
   /// the segmented sort.
@@ -71,7 +90,7 @@ struct SearchReport {
     return scan_ms + assemble_ms + sort_ms;
   }
 
-  /// Machine-readable run report (schema "cublastp.search_report.v1"):
+  /// Machine-readable run report (schema "cublastp.search_report.v2"):
   /// phase times, pipeline totals, work counters, degradation ladder,
   /// hazards, and the full per-kernel profile — everything CI and bench
   /// scripts previously scraped from stdout. See core/report.cpp.

@@ -30,12 +30,22 @@ struct DetectionResult {
   bool overflowed = false;
 };
 
+/// Optional pre-filter survivor list for hit detection (prefilter.hpp):
+/// when `ids` is set, detection iterates the `count` listed block-local
+/// sequence indices instead of every sequence. Default-constructed =
+/// unfiltered, with an instruction stream identical to the pre-filter era.
+struct SurvivorView {
+  const std::uint32_t* ids = nullptr;
+  std::uint32_t count = 0;
+};
+
 /// K1: warp-per-sequence, lane-per-word hit detection writing packed hits
 /// into the warp's bins (shared-memory top[] counters, paper Algorithm 2).
 DetectionResult launch_hit_detection(simt::Engine& engine,
                                      const Config& config,
                                      const QueryDevice& query,
-                                     const BlockDevice& block, BinGrid& bins);
+                                     const BlockDevice& block, BinGrid& bins,
+                                     SurvivorView survivors = {});
 
 struct AssembledBins {
   simt::DeviceVector<std::uint64_t> hits;  ///< contiguous, pow2-padded bins

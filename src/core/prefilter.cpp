@@ -1,0 +1,149 @@
+#include "core/prefilter.hpp"
+
+#include <algorithm>
+
+#include "util/fault.hpp"
+
+namespace repro::core {
+
+namespace {
+
+using simt::BlockCtx;
+using simt::LaneArray;
+using simt::WarpExec;
+
+/// Sentinel for "no nonempty subarray seen yet". Chunk sums are bounded by
+/// 16-bit sequence lengths times single-digit scores (|sum| < 2^21), so
+/// -(1 << 28) stays clear of both legitimate scores and int32 overflow in
+/// the combine arithmetic.
+constexpr std::int32_t kNegInf = -(1 << 28);
+
+}  // namespace
+
+int prefilter_threshold_for(const Config& config,
+                            const bio::EvalueCalculator& evalue) {
+  if (config.prefilter_threshold != 0) return config.prefilter_threshold;
+  return std::min(config.params.ungapped_cutoff,
+                  evalue.min_significant_score(config.params.max_evalue));
+}
+
+PrefilterResult run_prefilter(simt::Engine& engine, const Config& config,
+                              const PrefilterDevice& table,
+                              const BlockDevice& block, int threshold) {
+  util::fault_point_throw("core.prefilter");
+
+  const simt::MemKind table_kind = config.use_readonly_cache
+                                       ? simt::MemKind::kReadOnly
+                                       : simt::MemKind::kGlobal;
+
+  simt::DeviceVector<std::int32_t> scores(block.num_seqs, kNegInf);
+
+  simt::LaunchConfig cfg;
+  cfg.name = kKernelPrefilter;
+  cfg.grid_blocks = config.detection_blocks;
+  cfg.block_threads = config.detection_block_threads;
+  cfg.regs_per_thread = 24;
+
+  engine.launch(cfg, [&](BlockCtx& ctx) {
+    ctx.par([&](WarpExec& w) {
+      const auto total_warps = static_cast<std::uint32_t>(w.num_warps_total());
+      const auto gw = static_cast<std::uint32_t>(w.global_warp_id());
+
+      for (std::uint32_t seq = gw; seq < block.num_seqs; seq += total_warps) {
+        // Warp-uniform loads of the sequence extent (broadcast access).
+        LaneArray<std::uint32_t> uidx{};
+        LaneArray<std::uint32_t> lo{};
+        LaneArray<std::uint32_t> hi{};
+        w.vec([&](int lane) { uidx[lane] = seq; });
+        w.gather(block.offsets.data(), uidx, lo);
+        w.vec([&](int lane) { uidx[lane] = seq + 1; });
+        w.gather(block.offsets.data(), uidx, hi);
+        const std::uint32_t seq_off = lo[0];
+        const std::uint32_t seq_len = hi[0] - lo[0];
+        const std::uint32_t chunk = (seq_len + 31) / 32;
+
+        // Per-lane Kadane over the lane's contiguous chunk. min_p tracks
+        // the minimum local prefix (including the empty prefix 0), max_p
+        // the maximum nonempty local prefix, best the best subarray fully
+        // inside the chunk.
+        LaneArray<std::uint32_t> cursor{};
+        LaneArray<std::uint32_t> stop{};
+        LaneArray<std::int32_t> sum{};
+        LaneArray<std::int32_t> min_p{};
+        LaneArray<std::int32_t> max_p{};
+        LaneArray<std::int32_t> best{};
+        w.vec([&](int lane) {
+          const auto l = static_cast<std::uint32_t>(lane);
+          cursor[lane] = seq_off + std::min(l * chunk, seq_len);
+          stop[lane] = seq_off + std::min((l + 1) * chunk, seq_len);
+          sum[lane] = 0;
+          min_p[lane] = 0;
+          max_p[lane] = kNegInf;
+          best[lane] = kNegInf;
+        });
+        w.loop_while([&](int lane) { return cursor[lane] < stop[lane]; },
+                     [&] {
+                       LaneArray<std::uint8_t> residue{};
+                       w.gather(block.residues.data(), cursor, residue);
+                       LaneArray<std::uint32_t> ridx{};
+                       w.vec([&](int lane) { ridx[lane] = residue[lane]; });
+                       LaneArray<std::int32_t> score{};
+                       w.gather(table.best_residue.data(), ridx, score,
+                                table_kind);
+                       w.vec([&](int lane) {
+                         sum[lane] += score[lane];
+                         best[lane] =
+                             std::max(best[lane], sum[lane] - min_p[lane]);
+                         min_p[lane] = std::min(min_p[lane], sum[lane]);
+                         max_p[lane] = std::max(max_p[lane], sum[lane]);
+                         ++cursor[lane];
+                       });
+                     });
+
+        // Warp combine (full uniform mask): the global prefix at a point in
+        // lane l is pfx[l] + local prefix, so the best subarray crossing a
+        // chunk boundary is max_l [(pfx[l] + max_p[l]) - min over earlier
+        // lanes of (pfx[k] + min_p[k])]; within-chunk cases are best[l].
+        LaneArray<std::int32_t> incl = sum;
+        w.window_inclusive_scan(incl, 32);
+        LaneArray<std::int32_t> pfx{};
+        w.vec([&](int lane) { pfx[lane] = incl[lane] - sum[lane]; });
+        LaneArray<std::int32_t> neg{};
+        w.vec([&](int lane) { neg[lane] = -(pfx[lane] + min_p[lane]); });
+        w.window_inclusive_max_scan(neg, 32);
+        LaneArray<std::int32_t> run_min_prev = neg;
+        w.shfl_up(run_min_prev, 1, 32);
+        LaneArray<std::int32_t> cand{};
+        w.vec([&](int lane) {
+          // lane 0 has no earlier lanes; empty chunks have no end point.
+          cand[lane] = (lane == 0 || max_p[lane] == kNegInf)
+                           ? kNegInf
+                           : (pfx[lane] + max_p[lane]) + run_min_prev[lane];
+          cand[lane] = std::max(cand[lane], best[lane]);
+        });
+        w.window_reduce_max(cand, 32);
+
+        LaneArray<std::uint32_t> sidx{};
+        w.vec([&](int lane) { sidx[lane] = seq; });
+        w.if_then([&](int lane) { return lane == 0; },
+                  [&] { w.scatter(scores.data(), sidx, cand); });
+      }
+    });
+  });
+
+  engine.transfer("d2h_prefilter",
+                  static_cast<std::uint64_t>(block.num_seqs) *
+                      sizeof(std::int32_t));
+
+  PrefilterResult result;
+  result.num_seqs = block.num_seqs;
+  for (std::uint32_t seq = 0; seq < block.num_seqs; ++seq)
+    if (scores[seq] >= threshold) result.survivors.push_back(seq);
+  result.num_survivors = static_cast<std::uint32_t>(result.survivors.size());
+  engine.transfer("h2d_survivors",
+                  static_cast<std::uint64_t>(result.num_survivors) *
+                      sizeof(std::uint32_t));
+  return result;
+}
+
+}  // namespace repro::core

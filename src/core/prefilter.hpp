@@ -1,0 +1,56 @@
+// SSV-style pre-filter (DESIGN.md §13): one cheap diagonal-free pass that
+// scores every database sequence against the query's per-residue best-score
+// table and discards sequences whose maximum-subarray score cannot reach
+// the ungapped cutoff. The bound is exact — every ungapped extension is a
+// contiguous subject-range sum of PSSM scores, each bounded by the table
+// entry for its residue — so at the calibrated threshold the filter is
+// lossless and filtered search is bit-identical to unfiltered search.
+#pragma once
+
+#include <cstdint>
+
+#include "bio/karlin.hpp"
+#include "core/config.hpp"
+#include "core/device_data.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+/// Profile-registry name of the filter kernel (report row "ssv_prefilter").
+inline constexpr const char* kKernelPrefilter = "ssv_prefilter";
+
+/// The lossless filter threshold: a sequence can only produce a reportable
+/// alignment if some ungapped extension reaches the ungapped cutoff, and
+/// the E-value gate makes scores below min_significant_score unreportable
+/// anyway, so min(cutoff, significance) keeps every sequence that could
+/// matter. A nonzero Config::prefilter_threshold overrides the derivation.
+[[nodiscard]] int prefilter_threshold_for(const Config& config,
+                                          const bio::EvalueCalculator& evalue);
+
+/// Survivors of one block's filter pass.
+struct PrefilterResult {
+  /// Block-local sequence indices with score >= threshold, ascending.
+  simt::DeviceVector<std::uint32_t> survivors;
+  std::uint32_t num_survivors = 0;
+  std::uint32_t num_seqs = 0;
+
+  [[nodiscard]] double pass_rate() const {
+    return num_seqs == 0
+               ? 0.0
+               : static_cast<double>(num_survivors) /
+                     static_cast<double>(num_seqs);
+  }
+};
+
+/// Runs the filter kernel over one resident block: warp per sequence, each
+/// lane Kadane-scans a contiguous chunk, then a warp combine merges the
+/// chunks into the exact maximum-subarray score. Models the score download
+/// ("d2h_prefilter") and the compacted survivor upload ("h2d_survivors").
+/// Throws on the "core.prefilter" fault point (degradation-ladder hook).
+[[nodiscard]] PrefilterResult run_prefilter(simt::Engine& engine,
+                                            const Config& config,
+                                            const PrefilterDevice& table,
+                                            const BlockDevice& block,
+                                            int threshold);
+
+}  // namespace repro::core

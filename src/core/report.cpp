@@ -1,7 +1,9 @@
 // SearchReport serialization: the machine-readable JSON run report
-// (schema "cublastp.search_report.v1") and the human-readable --report
+// (schema "cublastp.search_report.v2") and the human-readable --report
 // tables. Everything CI and the bench scripts previously scraped from
-// stdout lives here in one stable schema.
+// stdout lives here in one stable schema. v2 adds the "prefilter" section
+// (mode, threshold, pass rate, per-block backend choices; DESIGN.md §13)
+// and the ssv_prefilter / coarse_fused rows in "gpu_ms".
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -40,7 +42,7 @@ void append_kv(std::string& out, const char* key, std::uint64_t value,
 std::string SearchReport::to_json() const {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"cublastp.search_report.v1\",";
+  out += "{\"schema\":\"cublastp.search_report.v2\",";
 
   // Modeled GPU phase times (Fig. 14 / Fig. 19 inputs).
   out += "\"gpu_ms\":{";
@@ -50,6 +52,8 @@ std::string SearchReport::to_json() const {
   append_kv(out, "hit_sort", sort_ms);
   append_kv(out, "hit_filter", filter_ms);
   append_kv(out, "ungapped_extension", extension_ms);
+  append_kv(out, "ssv_prefilter", prefilter_ms);
+  append_kv(out, "coarse_fused", coarse_ms);
   append_kv(out, "h2d", h2d_ms);
   append_kv(out, "d2h", d2h_ms);
   append_kv(out, "gpu_critical", gpu_critical_ms());
@@ -100,6 +104,29 @@ std::string SearchReport::to_json() const {
   for (std::size_t i = 0; i < retry_counts.size(); ++i) {
     if (i) out += ',';
     out += json_num(static_cast<std::uint64_t>(retry_counts[i]));
+  }
+  out += "]},";
+
+  // Pre-filter stage and adaptive backend routing (DESIGN.md §13).
+  out += "\"prefilter\":{";
+  out += json_str("mode");
+  out += ':';
+  out += json_str(prefilter_mode_name(prefilter_mode));
+  out += ',';
+  append_kv(out, "threshold", static_cast<std::uint64_t>(
+                                  prefilter_threshold < 0
+                                      ? 0
+                                      : prefilter_threshold));
+  append_kv(out, "sequences_scored", prefilter_sequences);
+  append_kv(out, "survivors", prefilter_survivors);
+  append_kv(out, "pass_rate", prefilter_pass_rate());
+  append_kv(out, "kernel_ms", prefilter_ms);
+  append_kv(out, "coarse_kernel_ms", coarse_ms);
+  append_kv(out, "degraded_blocks", prefilter_degraded_blocks);
+  out += "\"block_backends\":[";
+  for (std::size_t i = 0; i < block_backends.size(); ++i) {
+    if (i) out += ',';
+    out += json_str(block_backend_name(block_backends[i]));
   }
   out += "]},";
 
@@ -178,10 +205,16 @@ std::string SearchReport::to_json() const {
 std::string BatchReport::to_json() const {
   std::string out;
   out.reserve(4096 * (reports.size() + 1));
-  out += "{\"schema\":\"cublastp.batch_report.v1\",";
+  out += "{\"schema\":\"cublastp.batch_report.v2\",";
   append_kv(out, "queries", static_cast<std::uint64_t>(reports.size()));
   append_kv(out, "batch_wall_seconds", batch_wall_seconds);
   append_kv(out, "queries_per_second", queries_per_second());
+
+  out += "\"prefilter\":{";
+  append_kv(out, "sequences_scored", prefilter_sequences);
+  append_kv(out, "survivors", prefilter_survivors);
+  append_kv(out, "pass_rate", prefilter_pass_rate(), false);
+  out += "},";
 
   out += "\"modeled\":{";
   append_kv(out, "batch_seconds", modeled_batch_seconds);
@@ -204,7 +237,7 @@ std::string BatchReport::to_json() const {
   }
   out += "],";
 
-  // Full per-query documents, reusing the search_report.v1 schema so every
+  // Full per-query documents, reusing the search_report.v2 schema so every
   // existing consumer of --report-json keeps working per query.
   out += "\"reports\":[";
   for (std::size_t i = 0; i < reports.size(); ++i) {
@@ -219,6 +252,12 @@ std::string SearchReport::to_table() const {
   std::string out;
 
   util::Table phases({"phase", "time", "unit"});
+  if (prefilter_mode != PrefilterMode::kOff) {
+    phases.add_row({"ssv pre-filter (GPU)",
+                    util::Table::num(prefilter_ms, 3), "ms"});
+    phases.add_row({"coarse backend (GPU)", util::Table::num(coarse_ms, 3),
+                    "ms"});
+  }
   phases.add_row({"hit detection (GPU)", util::Table::num(detection_ms, 3),
                   "ms"});
   phases.add_row({"bin scan (GPU)", util::Table::num(scan_ms, 3), "ms"});
@@ -261,6 +300,29 @@ std::string SearchReport::to_table() const {
                         result.counters.filter_survival_ratio() * 100.0, 1) +
                         " %"});
   out += counters.render();
+
+  if (prefilter_mode != PrefilterMode::kOff) {
+    out += '\n';
+    std::size_t coarse_blocks = 0;
+    std::size_t filtered_blocks = 0;
+    for (const BlockBackend b : block_backends) {
+      if (b == BlockBackend::kCoarse) ++coarse_blocks;
+      if (b == BlockBackend::kFineFiltered) ++filtered_blocks;
+    }
+    util::Table pre({"pre-filter", "value"});
+    pre.add_row({"mode", prefilter_mode_name(prefilter_mode)});
+    pre.add_row({"threshold", std::to_string(prefilter_threshold)});
+    pre.add_row({"sequences scored", std::to_string(prefilter_sequences)});
+    pre.add_row({"survivors", std::to_string(prefilter_survivors)});
+    pre.add_row(
+        {"pass rate", util::Table::num(prefilter_pass_rate() * 100.0, 1) +
+                          " %"});
+    pre.add_row({"fine(filtered) blocks", std::to_string(filtered_blocks)});
+    pre.add_row({"coarse blocks", std::to_string(coarse_blocks)});
+    pre.add_row({"filter-degraded blocks",
+                 std::to_string(prefilter_degraded_blocks)});
+    out += pre.render();
+  }
 
   if (degraded() || bin_overflow_retries != 0 || faults_encountered != 0) {
     out += '\n';

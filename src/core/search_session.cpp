@@ -8,7 +8,9 @@
 #include <utility>
 #include <vector>
 
+#include "core/coarse_block.hpp"
 #include "core/kernels.hpp"
+#include "core/prefilter.hpp"
 #include "core/query_context.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
@@ -109,7 +111,39 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
   engine_.transfer("h2d_query", run.ctx->device.h2d_bytes());
 
   const std::size_t num_blocks = residency_.num_blocks();
+
+  // --- stage 1b: SSV pre-filter table (DESIGN.md §13) --------------------
+  // Built per query (it depends on the PSSM) and uploaded once; every
+  // block's filter launch reads it. A failure here is recoverable: the
+  // whole query degrades to the unfiltered path, never dropping results.
+  std::optional<PrefilterDevice> prefilter;
+  int prefilter_threshold = 0;
+  run.report.prefilter_mode = config_.prefilter;
+  if (config_.prefilter != PrefilterMode::kOff) {
+    prefilter_threshold = prefilter_threshold_for(config_, run.ctx->evalue);
+    run.report.prefilter_threshold = prefilter_threshold;
+    try {
+      prefilter.emplace(run.ctx->pssm);
+      engine_.transfer("h2d_prefilter", prefilter->h2d_bytes());
+    } catch (const simt::DeviceError&) {
+      prefilter.reset();
+    } catch (const util::FaultInjectedError&) {
+      prefilter.reset();
+    } catch (const std::bad_alloc&) {
+      prefilter.reset();
+    }
+    if (!prefilter.has_value()) {
+      // Every block of this query is served unfiltered.
+      run.report.prefilter_degraded_blocks = num_blocks;
+      if (util::trace_enabled())
+        util::trace_instant(
+            "degrade.prefilter_off", "degrade",
+            {util::targ("blocks", static_cast<std::uint64_t>(num_blocks))});
+    }
+  }
+
   run.report.retry_counts.assign(num_blocks, 0);
+  run.report.block_backends.reserve(num_blocks);
   run.block_extensions.resize(num_blocks);
   run.block_fallback_s.assign(num_blocks, 0.0);
   run.block_gpu_ms.assign(num_blocks, 0.0);
@@ -129,27 +163,26 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
     }
     const double gpu_ms_before = engine_.profile().total_time_ms();
 
-    BlockLadderResult ladder =
-        run_block_ladder(engine_, config_, *run.ctx, *db_, residency_, bi,
-                         bin_capacity, run.report.bin_overflow_retries);
+    BlockLadderResult ladder = run_block_ladder(
+        engine_, config_, *run.ctx, *db_, residency_, bi, bin_capacity,
+        run.report.bin_overflow_retries,
+        prefilter.has_value() ? &*prefilter : nullptr, prefilter_threshold);
 
     run.report.retry_counts[bi] = ladder.failed_attempts;
     if (ladder.cache_off_retry) ++run.report.cache_off_retries;
     if (ladder.degraded) ++run.report.degraded_blocks;
+    run.report.block_backends.push_back(ladder.backend);
+    run.report.prefilter_sequences += ladder.prefilter_seqs;
+    run.report.prefilter_survivors += ladder.prefilter_survivors;
+    if (ladder.prefilter_degraded) ++run.report.prefilter_degraded_blocks;
 
     auto& counters = run.report.result.counters;
     counters.hits_detected += ladder.outcome.hits_detected;
     counters.hits_after_filter += ladder.outcome.hits_after_filter;
     counters.ungapped_extensions += ladder.outcome.ungapped_extensions;
+    counters.words_scanned += ladder.words_scanned;
     run.block_extensions[bi] = std::move(ladder.outcome.extensions);
     run.block_fallback_s[bi] = ladder.outcome.cpu_fallback_seconds;
-
-    for (std::size_t s = begin; s < end; ++s)
-      if (db_->length(s) >=
-          static_cast<std::size_t>(config_.params.word_length))
-        counters.words_scanned +=
-            db_->length(s) -
-            static_cast<std::size_t>(config_.params.word_length) + 1;
 
     run.block_gpu_ms[bi] = engine_.profile().total_time_ms() - gpu_ms_before;
     if (util::trace_enabled()) {
@@ -232,9 +265,14 @@ void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
   report.sort_ms = kernel_ms(report.profile, kKernelSort);
   report.filter_ms = kernel_ms(report.profile, kKernelFilter);
   report.extension_ms = kernel_ms(report.profile, kKernelExtension);
+  report.prefilter_ms = kernel_ms(report.profile, kKernelPrefilter);
+  report.coarse_ms = kernel_ms(report.profile, kKernelCoarse);
   report.h2d_ms = kernel_ms(report.profile, "h2d_query") +
-                  kernel_ms(report.profile, "h2d_block");
-  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions");
+                  kernel_ms(report.profile, "h2d_block") +
+                  kernel_ms(report.profile, "h2d_prefilter") +
+                  kernel_ms(report.profile, "h2d_survivors");
+  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions") +
+                  kernel_ms(report.profile, "d2h_prefilter");
 
   const PipelineTotals totals =
       walk_pipeline(run.cpu.modeled, config_.cpu_threads, emit_modeled_trace);
@@ -246,10 +284,12 @@ void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
 
   // Map into the common PhaseTimings (GPU ms -> seconds). Degraded blocks
   // fold their host-side critical-phase cost into hit detection, where the
-  // work they replaced lives.
+  // work they replaced lives; so do the pre-filter and coarse-backend
+  // kernels, which substitute for (parts of) hit detection.
   report.result.timings.hit_detection =
       (report.detection_ms + report.scan_ms + report.assemble_ms +
-       report.sort_ms + report.filter_ms) /
+       report.sort_ms + report.filter_ms + report.prefilter_ms +
+       report.coarse_ms) /
           1e3 +
       fallback_seconds;
   report.result.timings.ungapped_extension = report.extension_ms / 1e3;
@@ -274,6 +314,10 @@ void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
   registry.counter("core.cache_off_retries").add(report.cache_off_retries);
   registry.counter("core.degraded_blocks").add(report.degraded_blocks);
   registry.counter("core.faults_absorbed").add(report.faults_encountered);
+  registry.counter("core.prefilter_sequences").add(report.prefilter_sequences);
+  registry.counter("core.prefilter_survivors").add(report.prefilter_survivors);
+  registry.counter("core.prefilter_degraded_blocks")
+      .add(report.prefilter_degraded_blocks);
   registry.histogram("core.search_wall_seconds").observe(run.wall_seconds);
 }
 
@@ -400,6 +444,8 @@ BatchReport SearchSession::search_batch(
     modeled[qi].finalize_s = runs[qi]->cpu.finalize_s;
     modeled[qi].blocks = std::move(runs[qi]->cpu.modeled);
     batch.per_query_wall_seconds.push_back(runs[qi]->wall_seconds);
+    batch.prefilter_sequences += runs[qi]->report.prefilter_sequences;
+    batch.prefilter_survivors += runs[qi]->report.prefilter_survivors;
     batch.reports.push_back(std::move(runs[qi]->report));
   }
 
