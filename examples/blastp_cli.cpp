@@ -19,24 +19,47 @@
 // Batch mode: --batch=queries.fasta (instead of --query) answers every
 // query through one core::SearchSession::search_batch — the database is
 // uploaded once and query q+1's GPU phases overlap query q's CPU stage.
-// --report-json then writes ONE cublastp.batch_report.v2 document instead
+// --report-json then writes ONE cublastp.batch_report.v3 document instead
 // of an array of per-query reports.
+//
+// Service mode: --serve --batch=queries.fasta answers the query list
+// through a core::SearchService (DESIGN.md §14) — a bounded admission
+// queue in front of one resident session — with N concurrent submitter
+// threads (--serve-clients, default 2) each submitting the list
+// --serve-repeat times. Deadlines and cancellation:
+//   --deadline-ms=X            relative deadline for every request
+//   --deadline-queries=i:ms,…  per-query-index deadline overrides
+//   --cancel-queries=i,j       submit those indices pre-cancelled
+//   --queue-capacity=N         admission queue bound (default 16)
+//   --per-priority-limit=N     per-class cap (default 0 = none)
+// Serve mode prints a per-status summary and exits 0 even when requests
+// were rejected or expired — backpressure is the service working as
+// designed, not a tool failure.
+//
+// Without --serve, --deadline-ms=X on a plain --query run routes each
+// query through a one-off service; a query that misses its deadline (or
+// is cancelled) exits 4.
 //
 // Observability: --trace records one Chrome-trace session spanning every
 // query (load in chrome://tracing or Perfetto); --metrics exports the
 // process metrics registry (.prom/.txt = Prometheus text, else JSON);
 // --report prints the per-query phase/counter tables; --report-json writes
-// the structured run report(s) (schema cublastp.search_report.v2).
+// the structured run report(s) (schema cublastp.search_report.v3).
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
 //   printf '>q\n...' > q.fasta   (or use database_tools + your own FASTA)
 //   ./blastp_cli --query=q.fasta --db=db.fasta
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
+#include <map>
+#include <mutex>
 #include <optional>
 #include <span>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/cpu.hpp"
@@ -45,8 +68,10 @@
 #include "common.hpp"
 #include "core/cublastp.hpp"
 #include "core/search_session.hpp"
+#include "core/service.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
+#include "util/table.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
 
@@ -124,6 +149,124 @@ bool write_text_file(const std::string& path, const std::string& content) {
   return true;
 }
 
+/// Parses "i,j,k" into indices (ignores malformed entries).
+std::vector<std::size_t> parse_index_list(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ','))
+    if (!item.empty()) out.push_back(std::stoul(item));
+  return out;
+}
+
+/// Parses "i:ms,j:ms" into {index -> deadline_ms}.
+std::map<std::size_t, double> parse_deadline_map(const std::string& csv) {
+  std::map<std::size_t, double> out;
+  std::stringstream stream(csv);
+  std::string item;
+  while (std::getline(stream, item, ',')) {
+    const auto colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) continue;
+    out[std::stoul(item.substr(0, colon))] =
+        std::stod(item.substr(colon + 1));
+  }
+  return out;
+}
+
+/// --serve: the query list through a SearchService under concurrent
+/// submitters. Prints a per-status summary; rejected/expired requests are
+/// the service doing its job, so this never fails the tool.
+int run_serve(const util::Options& options, const core::Config& config,
+              const std::vector<bio::Sequence>& queries,
+              const bio::SequenceDatabase& db) {
+  core::ServiceConfig service_config;
+  service_config.queue_capacity =
+      static_cast<std::size_t>(options.get_int("queue-capacity", 16));
+  service_config.per_priority_limit =
+      static_cast<std::size_t>(options.get_int("per-priority-limit", 0));
+  const auto clients = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, options.get_int("serve-clients", 2)));
+  const auto repeat = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, options.get_int("serve-repeat", 1)));
+  const double global_deadline_ms = options.get_double("deadline-ms", 0.0);
+  const auto deadline_overrides =
+      parse_deadline_map(options.get("deadline-queries", ""));
+  const auto cancel_indices =
+      parse_index_list(options.get("cancel-queries", ""));
+
+  // Pre-cancelled source for --cancel-queries: those requests resolve
+  // kCancelled deterministically (at dequeue, before any work).
+  core::CancellationSource cancelled_source;
+  cancelled_source.cancel();
+
+  core::SearchService service(config, db, service_config);
+
+  std::mutex agg_mutex;
+  std::map<std::string, std::size_t> status_counts;
+  double wall_ms_sum = 0.0;
+  std::size_t resolved = 0;
+
+  util::Timer serve_timer;
+  std::vector<std::thread> submitters;
+  submitters.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    submitters.emplace_back([&, c] {
+      std::vector<std::future<core::ServiceResult>> futures;
+      for (std::size_t r = 0; r < repeat; ++r)
+        for (std::size_t qi = 0; qi < queries.size(); ++qi) {
+          core::SearchRequest request;
+          request.query.assign(queries[qi].residues.begin(),
+                               queries[qi].residues.end());
+          // Spread priorities so the per-class caps see traffic: client 0
+          // is interactive, the rest alternate normal/batch.
+          request.priority =
+              c == 0 ? core::RequestPriority::kInteractive
+                     : (c % 2 != 0 ? core::RequestPriority::kNormal
+                                   : core::RequestPriority::kBatch);
+          const auto it = deadline_overrides.find(qi);
+          request.deadline_ms =
+              it != deadline_overrides.end() ? it->second : global_deadline_ms;
+          if (std::find(cancel_indices.begin(), cancel_indices.end(), qi) !=
+              cancel_indices.end())
+            request.cancel = cancelled_source.token();
+          futures.push_back(service.submit(std::move(request)));
+        }
+      for (auto& future : futures) {
+        core::ServiceResult result = future.get();
+        std::lock_guard<std::mutex> lock(agg_mutex);
+        status_counts[core::request_status_name(result.status)] += 1;
+        wall_ms_sum += result.wall_ms;
+        resolved += 1;
+      }
+    });
+  }
+  for (auto& t : submitters) t.join();
+  service.drain();
+  const double serve_seconds = serve_timer.seconds();
+
+  const core::ServiceStats stats = service.stats();
+  util::Table table({"status", "count"});
+  for (const auto& [status, count] : status_counts)
+    table.add_row({status, std::to_string(count)});
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Service: %llu submitted, %llu admitted, %llu rejected; %llu "
+      "completed, %llu cancelled, %llu deadline-exceeded, %llu failed; "
+      "%llu transient retries; %zu requests in %.3f s (%.1f req/s)\n",
+      static_cast<unsigned long long>(stats.submitted),
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.rejected),
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(stats.cancelled),
+      static_cast<unsigned long long>(stats.deadline_exceeded),
+      static_cast<unsigned long long>(stats.failed),
+      static_cast<unsigned long long>(stats.transient_retries), resolved,
+      serve_seconds,
+      serve_seconds > 0.0 ? static_cast<double>(resolved) / serve_seconds
+                          : 0.0);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   util::Options options(argc, argv);
   const bool batch_mode = options.has("batch");
@@ -137,7 +280,11 @@ int run(int argc, char** argv) {
                  "[--prefilter=off|on|auto] [--prefilter-threshold=N] "
                  "[--max_alignments=N] [--lenient] [--simtcheck] "
                  "[--trace=PATH] [--metrics=PATH] [--report] "
-                 "[--report-json=PATH]\n");
+                 "[--report-json=PATH]\n"
+                 "       blastp_cli --serve --batch=FASTA --db=FASTA "
+                 "[--serve-clients=N] [--serve-repeat=N] [--deadline-ms=X] "
+                 "[--deadline-queries=i:ms,...] [--cancel-queries=i,...] "
+                 "[--queue-capacity=N] [--per-priority-limit=N]\n");
     return 2;
   }
 
@@ -169,8 +316,27 @@ int run(int argc, char** argv) {
   const std::string metrics_path = options.get("metrics", "");
   const std::string report_json_path = options.get("report-json", "");
   const bool print_report = options.has("report");
+  const double deadline_ms = options.get_double("deadline-ms", 0.0);
+
+  if (options.has("serve")) {
+    if (!batch_mode || engine_name != "cublastp") {
+      std::fprintf(stderr,
+                   "blastp_cli: --serve requires --batch=FASTA and "
+                   "--engine=cublastp\n");
+      return 2;
+    }
+    const int rc = run_serve(options, config, queries, db);
+    if (!metrics_path.empty() &&
+        !util::metrics::Registry::instance().write_file(metrics_path)) {
+      std::fprintf(stderr, "blastp_cli: cannot write %s\n",
+                   metrics_path.c_str());
+      return 1;
+    }
+    return rc;
+  }
 
   bool hazards_found = false;
+  bool deadline_missed = false;
 
   if (batch_mode) {
     // One session, one batch: the database uploads once, and each query's
@@ -208,6 +374,12 @@ int run(int argc, char** argv) {
       return 1;
   } else {
     std::vector<std::string> report_jsons;
+    // With a deadline, queries route through a one-off service in front of
+    // one resident session, so deadline misses surface as statuses instead
+    // of exceptions.
+    std::optional<core::SearchService> service;
+    if (engine_name == "cublastp" && deadline_ms > 0.0)
+      service.emplace(config, db);
     for (const auto& query : queries) {
       std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
                   query.length());
@@ -221,7 +393,24 @@ int run(int argc, char** argv) {
         result = baselines::ncbi_mt_search(query.residues, db, config.params,
                                            config.cpu_threads);
       } else {
-        report = core::CuBlastp(config).search(query.residues, db);
+        if (service.has_value()) {
+          core::ServiceResult sres = service->search(
+              std::vector<std::uint8_t>(query.residues.begin(),
+                                        query.residues.end()),
+              deadline_ms);
+          if (sres.status != core::RequestStatus::kOk &&
+              sres.status != core::RequestStatus::kDegraded) {
+            std::fprintf(stderr, "blastp_cli: query %s %s: %s\n",
+                         query.id.c_str(),
+                         core::request_status_name(sres.status),
+                         sres.message.c_str());
+            deadline_missed = true;
+            continue;
+          }
+          report = std::move(sres.report);
+        } else {
+          report = core::CuBlastp(config).search(query.residues, db);
+        }
         if (print_report) std::printf("%s\n", report.to_table().c_str());
         if (!report_json_path.empty())
           report_jsons.push_back(report.to_json());
@@ -254,7 +443,8 @@ int run(int argc, char** argv) {
   }
 
   // Like cuda-memcheck: correct-looking output still fails the run when
-  // the analyzer found hazards.
+  // the analyzer found hazards. A missed deadline outranks hazards (4).
+  if (deadline_missed) return 4;
   return hazards_found ? 3 : 0;
 }
 

@@ -22,6 +22,17 @@ namespace repro::core {
 struct SearchReport {
   blast::SearchResult result;
 
+  /// End-to-end host wall-clock of this query in milliseconds (GPU-phase
+  /// entry through the end of finalization). Schema v3 field.
+  double wall_ms = 0.0;
+
+  /// Terminal status of the query: "ok" | "degraded" for completed
+  /// searches (set by the session), and "cancelled" | "deadline_exceeded" |
+  /// "rejected" when a core::SearchService terminated the request before a
+  /// result existed (the service stamps the otherwise-empty report so the
+  /// JSON document still says what happened). Schema v3 field.
+  std::string status = "ok";
+
   // Modeled device-side milliseconds, per kernel family.
   double detection_ms = 0.0;
   double scan_ms = 0.0;      ///< bin-offset scan (part of assembling)
@@ -90,10 +101,11 @@ struct SearchReport {
     return scan_ms + assemble_ms + sort_ms;
   }
 
-  /// Machine-readable run report (schema "cublastp.search_report.v2"):
+  /// Machine-readable run report (schema "cublastp.search_report.v3"):
   /// phase times, pipeline totals, work counters, degradation ladder,
   /// hazards, and the full per-kernel profile — everything CI and bench
-  /// scripts previously scraped from stdout. See core/report.cpp.
+  /// scripts previously scraped from stdout. v3 adds the top-level
+  /// `wall_ms` and terminal `status` fields. See core/report.cpp.
   [[nodiscard]] std::string to_json() const;
 
   /// Human-readable phase/profile tables (util::Table) for --report.

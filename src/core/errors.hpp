@@ -18,6 +18,10 @@ enum class SearchErrorCode {
   kWorkerFailed,          ///< a host worker thread threw
   kIngest,                ///< FASTA/database ingest failed
   kDegradationExhausted,  ///< every rung of the ladder failed for a block
+  kRejected,              ///< admission control refused the request
+  kCancelled,             ///< caller cancelled the request (cooperative)
+  kDeadlineExceeded,      ///< the request's deadline expired mid-flight
+  kShutdown,              ///< the service is draining / shut down
 };
 
 [[nodiscard]] constexpr const char* to_string(SearchErrorCode code) {
@@ -32,6 +36,10 @@ enum class SearchErrorCode {
     case SearchErrorCode::kIngest: return "ingest";
     case SearchErrorCode::kDegradationExhausted:
       return "degradation_exhausted";
+    case SearchErrorCode::kRejected: return "rejected";
+    case SearchErrorCode::kCancelled: return "cancelled";
+    case SearchErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case SearchErrorCode::kShutdown: return "shutdown";
   }
   return "unknown";
 }

@@ -317,7 +317,18 @@ BlockLadderResult run_block_ladder(simt::Engine& engine, const Config& config,
                                    std::uint32_t& bin_capacity,
                                    std::uint64_t& overflow_retries,
                                    const PrefilterDevice* prefilter,
-                                   int prefilter_threshold) {
+                                   int prefilter_threshold,
+                                   const CancellationToken& cancel) {
+  cancel.throw_if_stopped("block_ladder.entry");
+  // The ladder toggles the read-only cache per rung; restore the configured
+  // setting on every exit path, including a cancellation throw between
+  // rungs, so an aborted query never leaks a cache-off engine to the next.
+  struct CacheRestore {
+    simt::Engine& engine;
+    bool enabled;
+    ~CacheRestore() { engine.set_readonly_cache_enabled(enabled); }
+  } cache_restore{engine, config.use_readonly_cache};
+
   BlockLadderResult result;
   std::optional<BlockOutcome> outcome;
   // Kept outside the rung loop: the survivor indices feed the
@@ -334,6 +345,7 @@ BlockLadderResult run_block_ladder(simt::Engine& engine, const Config& config,
   // Every rung produces the same extension set, so alignments stay
   // bit-identical to a fault-free run however far a block has to fall.
   for (int rung = 0; rung < 2 && !outcome; ++rung) {
+    if (rung > 0) cancel.throw_if_stopped("block_ladder.rung");
     const bool cache_enabled = rung == 0 && config.use_readonly_cache;
     Config attempt_config = config;
     attempt_config.use_readonly_cache = cache_enabled;
@@ -430,6 +442,7 @@ BlockLadderResult run_block_ladder(simt::Engine& engine, const Config& config,
   engine.set_readonly_cache_enabled(config.use_readonly_cache);
 
   if (!outcome) {
+    cancel.throw_if_stopped("block_ladder.cpu_fallback");
     if (util::trace_enabled())
       util::trace_instant("degrade.cpu_fallback", "degrade",
                           {util::targ("block", static_cast<std::uint64_t>(bi))});

@@ -26,6 +26,7 @@
 #include "bio/database.hpp"
 #include "blast/results.hpp"
 #include "blast/types.hpp"
+#include "core/cancellation.hpp"
 #include "core/config.hpp"
 #include "core/device_data.hpp"
 #include "core/errors.hpp"
@@ -149,14 +150,22 @@ struct BlockLadderResult {
 /// the CPU fallback. A filter failure degrades to the unfiltered fine path
 /// inside rung 1 — the filter can only be skipped, never drop results.
 /// Every rung produces the same extension set. Restores the engine's cache
-/// setting to `config.use_readonly_cache` before returning. Throws
-/// SearchError{kDegradationExhausted} when all three rungs fail.
+/// setting to `config.use_readonly_cache` before returning (also when the
+/// ladder unwinds). Throws SearchError{kDegradationExhausted} when all
+/// three rungs fail.
+///
+/// `cancel` (empty by default) is polled at the ladder's internal stage
+/// boundaries — entry, between GPU rungs, and before the CPU fallback — so
+/// a cancelled or expired request aborts between attempts with
+/// SearchError{kCancelled}/{kDeadlineExceeded} instead of grinding through
+/// retries it no longer wants.
 [[nodiscard]] BlockLadderResult run_block_ladder(
     simt::Engine& engine, const Config& config, const QueryContext& ctx,
     const bio::SequenceDatabase& db, BlockResidency& residency,
     std::size_t bi, std::uint32_t& bin_capacity,
     std::uint64_t& overflow_retries,
-    const PrefilterDevice* prefilter = nullptr, int prefilter_threshold = 0);
+    const PrefilterDevice* prefilter = nullptr, int prefilter_threshold = 0,
+    const CancellationToken& cancel = {});
 
 /// Stage 4 result for one block: gapped/traceback work, modeled makespans,
 /// and (while tracing) the greedy schedule placements the modeled Fig. 12

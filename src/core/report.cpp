@@ -1,9 +1,12 @@
 // SearchReport serialization: the machine-readable JSON run report
-// (schema "cublastp.search_report.v2") and the human-readable --report
+// (schema "cublastp.search_report.v3") and the human-readable --report
 // tables. Everything CI and the bench scripts previously scraped from
-// stdout lives here in one stable schema. v2 adds the "prefilter" section
+// stdout lives here in one stable schema. v2 added the "prefilter" section
 // (mode, threshold, pass rate, per-block backend choices; DESIGN.md §13)
-// and the ssv_prefilter / coarse_fused rows in "gpu_ms".
+// and the ssv_prefilter / coarse_fused rows in "gpu_ms"; v3 adds the
+// top-level "wall_ms" and terminal "status" fields (ok | degraded |
+// cancelled | deadline_exceeded | rejected) so service-layer consumers can
+// read the request's fate without parsing counters.
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -42,7 +45,14 @@ void append_kv(std::string& out, const char* key, std::uint64_t value,
 std::string SearchReport::to_json() const {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"cublastp.search_report.v2\",";
+  out += "{\"schema\":\"cublastp.search_report.v3\",";
+
+  // Terminal status + host wall clock (v3).
+  out += json_str("status");
+  out += ':';
+  out += json_str(status);
+  out += ',';
+  append_kv(out, "wall_ms", wall_ms);
 
   // Modeled GPU phase times (Fig. 14 / Fig. 19 inputs).
   out += "\"gpu_ms\":{";
@@ -205,7 +215,7 @@ std::string SearchReport::to_json() const {
 std::string BatchReport::to_json() const {
   std::string out;
   out.reserve(4096 * (reports.size() + 1));
-  out += "{\"schema\":\"cublastp.batch_report.v2\",";
+  out += "{\"schema\":\"cublastp.batch_report.v3\",";
   append_kv(out, "queries", static_cast<std::uint64_t>(reports.size()));
   append_kv(out, "batch_wall_seconds", batch_wall_seconds);
   append_kv(out, "queries_per_second", queries_per_second());
@@ -237,7 +247,16 @@ std::string BatchReport::to_json() const {
   }
   out += "],";
 
-  // Full per-query documents, reusing the search_report.v2 schema so every
+  // Per-query terminal statuses (v3) — mirrors reports[i].status so batch
+  // consumers can scan outcomes without descending into each document.
+  out += "\"statuses\":[";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) out += ',';
+    out += json_str(reports[i].status);
+  }
+  out += "],";
+
+  // Full per-query documents, reusing the search_report.v3 schema so every
   // existing consumer of --report-json keeps working per query.
   out += "\"reports\":[";
   for (std::size_t i = 0; i < reports.size(); ++i) {

@@ -44,6 +44,10 @@ struct SearchSession::QueryRun {
   util::Timer wall;  ///< starts when the run is created (GPU-phase entry)
   double wall_seconds = 0.0;  ///< set when the CPU half completes
 
+  /// Cooperative stop token, polled at every stage boundary. Empty for
+  /// token-less searches and the whole batch path.
+  CancellationToken cancel;
+
   std::optional<QueryContext> ctx;
   SearchReport report;
 
@@ -100,6 +104,18 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
   run.profile_before = engine_.profile();
   engine_.clear_hazards();
 
+  // Install the request's root cancel flag on the engine for the duration
+  // of the GPU half: an in-flight launch then skips its remaining shards
+  // once the client cancels, instead of running them to completion before
+  // the next checkpoint can abort. Cleared on every exit path (a null flag
+  // changes nothing for token-less queries).
+  engine_.set_cancel_flag(run.cancel.root_flag());
+  struct FlagClear {
+    simt::Engine& engine;
+    ~FlagClear() { engine.set_cancel_flag(nullptr); }
+  } flag_clear{engine_};
+  run.cancel.throw_if_stopped("query.start");
+
   // --- stage 1: query preparation (the "Other" phase of Fig. 19d) --------
   {
     util::Timer prep_timer;
@@ -154,6 +170,7 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
 
   // --- stages 2+3: residency + the degradation ladder, block by block ----
   for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+    run.cancel.throw_if_stopped("gpu_phase.block");
     const auto [begin, end] = residency_.range(bi);
     util::TraceSpan block_span;
     if (util::trace_enabled()) {
@@ -166,7 +183,8 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
     BlockLadderResult ladder = run_block_ladder(
         engine_, config_, *run.ctx, *db_, residency_, bi, bin_capacity,
         run.report.bin_overflow_retries,
-        prefilter.has_value() ? &*prefilter : nullptr, prefilter_threshold);
+        prefilter.has_value() ? &*prefilter : nullptr, prefilter_threshold,
+        run.cancel);
 
     run.report.retry_counts[bi] = ladder.failed_attempts;
     if (ladder.cache_off_retry) ++run.report.cache_off_retries;
@@ -206,6 +224,7 @@ void SearchSession::run_cpu_phases(QueryRun& run) {
 
   // --- stage 4: gapped extension + traceback, block by block -------------
   for (std::size_t bi = 0; bi < num_blocks; ++bi) {
+    run.cancel.throw_if_stopped("cpu_phase.block");
     util::TraceSpan gapped_span;
     if (util::trace_enabled()) {
       gapped_span.open("gapped_stage", "cpu");
@@ -244,6 +263,7 @@ void SearchSession::run_cpu_phases(QueryRun& run) {
   }
 
   // --- stage 5: finalization ---------------------------------------------
+  run.cancel.throw_if_stopped("finalize");
   run.cpu.finalize_s = run_finalize(run.cpu.alignments, *run.ctx, config_);
   run.wall_seconds = run.wall.seconds();
 }
@@ -298,6 +318,9 @@ void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
   report.result.timings.other =
       report.other_seconds + (report.h2d_ms + report.d2h_ms) / 1e3;
 
+  report.wall_ms = run.wall_seconds * 1e3;
+  report.status = report.degraded() ? "degraded" : "ok";
+
   report.faults_encountered =
       util::FaultInjector::instance().total_fires() - run.fires_before;
   if (util::trace_enabled() && report.faults_encountered > 0)
@@ -328,8 +351,10 @@ void SearchSession::export_metrics() const {
     util::metrics::Registry::instance().write_file(metrics_path);
 }
 
-SearchReport SearchSession::search(std::span<const std::uint8_t> query) {
+SearchReport SearchSession::search(std::span<const std::uint8_t> query,
+                                   const CancellationToken& cancel) {
   check_search_limits(query, *db_);
+  cancel.throw_if_stopped("search.entry");
 
   std::optional<util::FaultScope> fault_scope;
   if (!config_.fault_schedule.empty())
@@ -345,6 +370,7 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query) {
   if (!trace_path.empty()) trace_session.emplace(trace_path);
 
   QueryRun run;
+  run.cancel = cancel;
   util::TraceSpan search_span("cublastp.search", "core");
   if (search_span.active()) {
     search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));

@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "bio/database.hpp"
+#include "core/cancellation.hpp"
 #include "core/config.hpp"
 #include "core/cublastp.hpp"
 #include "core/pipeline.hpp"
@@ -90,8 +91,9 @@ struct BatchReport {
   }
 
   /// One machine-readable document for the whole batch (schema
-  /// "cublastp.batch_report.v2"): batch aggregates plus the full
-  /// per-query search_report.v2 objects. See core/report.cpp.
+  /// "cublastp.batch_report.v3"): batch aggregates, the per-query terminal
+  /// "statuses" array, plus the full per-query search_report.v3 objects.
+  /// See core/report.cpp.
   [[nodiscard]] std::string to_json() const;
 };
 
@@ -110,7 +112,18 @@ class SearchSession {
   /// CuBlastp::search except that engine and database residency persist:
   /// the first call uploads the database, later calls reuse it (their
   /// reports carry no h2d_block time and a warm read-only cache).
-  [[nodiscard]] SearchReport search(std::span<const std::uint8_t> query);
+  ///
+  /// `cancel` (empty by default) is polled cooperatively at every pipeline
+  /// stage boundary — before each block's degradation ladder, between the
+  /// ladder's rungs, before each block's CPU stage, and before
+  /// finalization — and its root flag is installed on the engine so an
+  /// in-flight launch skips its remaining shards. A stopped query throws
+  /// SearchError{kCancelled} or {kDeadlineExceeded}; device buffers unwind
+  /// through their RAII owners (nothing leaks), and the resident database
+  /// image stays valid for the next query. An empty token (or one that
+  /// never fires) leaves results bit-identical to the token-less call.
+  [[nodiscard]] SearchReport search(std::span<const std::uint8_t> query,
+                                    const CancellationToken& cancel = {});
 
   /// Many queries with cross-query overlap: query q's engine-free CPU
   /// stage (gapped extension + traceback + finalize) runs on a worker
@@ -143,7 +156,8 @@ class SearchSession {
 
   /// GPU half of one query: preparation, the h2d_query upload, and every
   /// block through the degradation ladder. Touches the engine; must run on
-  /// the session's main thread, one query at a time.
+  /// the session's main thread, one query at a time. Polls the run's
+  /// cancellation token at block boundaries.
   void run_gpu_phases(std::span<const std::uint8_t> query, QueryRun& run,
                       std::size_t query_index);
   /// CPU half: gapped extension + traceback per block, then finalize.

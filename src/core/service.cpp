@@ -1,0 +1,447 @@
+// SearchService implementation (DESIGN.md §14): bounded priority queue +
+// one session-owning worker thread. All queue state lives behind mutex_;
+// the worker holds the lock only while popping/bookkeeping, never while a
+// search runs, so submitters are never blocked by in-flight work.
+#include "core/service.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <new>
+#include <string_view>
+#include <utility>
+
+#include "core/query_context.hpp"
+#include "simt/engine.hpp"
+#include "util/fault.hpp"
+#include "util/metrics.hpp"
+#include "util/timer.hpp"
+#include "util/trace.hpp"
+
+namespace repro::core {
+
+namespace {
+
+std::string config_path_or_env(const std::string& configured,
+                               const char* env) {
+  if (!configured.empty()) return configured;
+  const char* value = std::getenv(env);
+  return value != nullptr ? std::string(value) : std::string();
+}
+
+/// Maps a terminal RequestStatus onto the metrics/trace vocabulary and the
+/// SearchReport::status field (shared spelling with report.cpp's v3 docs).
+const char* report_status_label(RequestStatus s) {
+  return request_status_name(s);
+}
+
+}  // namespace
+
+SearchService::SearchService(Config config, const bio::SequenceDatabase& db,
+                             ServiceConfig service_config)
+    : session_(std::move(config), db), service_config_(service_config) {
+  service_config_.queue_capacity =
+      std::max<std::size_t>(1, service_config_.queue_capacity);
+  service_config_.backoff_multiplier =
+      std::max(1.0, service_config_.backoff_multiplier);
+  if (service_config_.backoff_initial_ms < 0.0)
+    service_config_.backoff_initial_ms = 0.0;
+
+  // The service owns the trace session so every request of its lifetime
+  // lands on one timeline (TraceSession is passive when an outer owner —
+  // e.g. the CLI — already started one).
+  const std::string trace_path =
+      config_path_or_env(session_.config().trace_path, "REPRO_TRACE");
+  if (!trace_path.empty())
+    trace_session_ = std::make_unique<util::TraceSession>(trace_path);
+
+  worker_ = std::thread([this] { worker_loop(); });
+}
+
+SearchService::~SearchService() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+std::future<ServiceResult> SearchService::submit(SearchRequest request) {
+  std::promise<ServiceResult> promise;
+  std::future<ServiceResult> future = promise.get_future();
+  auto& registry = util::metrics::Registry::instance();
+
+  // Validate outside the lock: malformed input never occupies a slot.
+  try {
+    check_search_limits(request.query, session_.db());
+  } catch (const SearchError& e) {
+    ServiceResult result;
+    result.status = RequestStatus::kFailed;
+    result.error_code = e.code();
+    result.message = e.what();
+    result.report.status = report_status_label(result.status);
+    registry.counter("service.submitted").add(1);
+    registry.counter("service.failed").add(1);
+    promise.set_value(std::move(result));
+    return future;
+  }
+
+  auto pending = std::make_unique<Pending>();
+  // Read the clock only when the request carries a deadline or could be
+  // admitted — both reads are in submitter program order, so decisions
+  // stay deterministic under the virtual clock.
+  if (request.deadline_ms > 0.0)
+    pending->deadline_ns =
+        util::MonotonicClock::now_ns() +
+        static_cast<std::uint64_t>(request.deadline_ms * 1e6);
+  pending->request = std::move(request);
+  pending->promise = std::move(promise);
+
+  const auto prio = static_cast<std::size_t>(pending->request.priority);
+  std::string reject_reason;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.submitted += 1;
+    registry.counter("service.submitted").add(1);
+    if (!accepting_) {
+      reject_reason = "service is draining";
+    } else if (queued_ >= service_config_.queue_capacity) {
+      reject_reason = "queue at capacity (" +
+                      std::to_string(service_config_.queue_capacity) + ")";
+    } else if (service_config_.per_priority_limit != 0 &&
+               queues_[prio].size() >= service_config_.per_priority_limit) {
+      reject_reason = std::string("priority class '") +
+                      request_priority_name(pending->request.priority) +
+                      "' at its limit (" +
+                      std::to_string(service_config_.per_priority_limit) + ")";
+    } else {
+      pending->admitted_ns = util::MonotonicClock::now_ns();
+      stats_.admitted += 1;
+      queues_[prio].push_back(std::move(pending));
+      queued_ += 1;
+      registry.counter("service.admitted").add(1);
+      registry.gauge("service.queue_depth")
+          .set(static_cast<double>(queued_));
+    }
+  }
+
+  if (pending == nullptr) {
+    // Admitted.
+    cv_.notify_one();
+    return future;
+  }
+
+  // Rejected: resolve the future immediately — backpressure is explicit.
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.rejected += 1;
+  }
+  registry.counter("service.rejected").add(1);
+  if (util::trace_enabled())
+    util::trace_instant("service.reject", "service",
+                        {util::targ("reason", reject_reason)});
+  ServiceResult result;
+  result.status = RequestStatus::kRejected;
+  result.error_code = SearchErrorCode::kRejected;
+  result.message = reject_reason;
+  result.report.status = report_status_label(result.status);
+  pending->promise.set_value(std::move(result));
+  return future;
+}
+
+ServiceResult SearchService::search(std::vector<std::uint8_t> query,
+                                    double deadline_ms,
+                                    CancellationToken cancel) {
+  SearchRequest request;
+  request.query = std::move(query);
+  request.deadline_ms = deadline_ms;
+  request.cancel = std::move(cancel);
+  return submit(std::move(request)).get();
+}
+
+void SearchService::pause() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  paused_ = true;
+}
+
+void SearchService::resume() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
+void SearchService::drain() {
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    accepting_ = false;
+    paused_ = false;  // a paused service must still be able to drain
+    cv_.notify_all();
+    idle_cv_.wait(lock, [this] { return queued_ == 0 && !busy_; });
+  }
+  const std::string metrics_path = config_path_or_env(
+      session_.config().metrics_path, "REPRO_METRICS");
+  if (!metrics_path.empty())
+    util::metrics::Registry::instance().write_file(metrics_path);
+  trace_session_.reset();  // writes the trace file, if we owned a session
+}
+
+void SearchService::shutdown() {
+  std::vector<std::unique_ptr<Pending>> dropped;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    accepting_ = false;
+    paused_ = false;
+    for (auto& queue : queues_)
+      while (!queue.empty()) {
+        dropped.push_back(std::move(queue.front()));
+        queue.pop_front();
+      }
+    queued_ = 0;
+    stats_.cancelled += dropped.size();
+    cv_.notify_all();
+    idle_cv_.wait(lock, [this] { return !busy_; });
+  }
+  auto& registry = util::metrics::Registry::instance();
+  registry.gauge("service.queue_depth").set(0.0);
+  for (auto& pending : dropped) {
+    registry.counter("service.cancelled").add(1);
+    ServiceResult result;
+    result.status = RequestStatus::kCancelled;
+    result.error_code = SearchErrorCode::kShutdown;
+    result.message = "service shut down before the request ran";
+    result.report.status = report_status_label(result.status);
+    pending->promise.set_value(std::move(result));
+  }
+}
+
+ServiceStats SearchService::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ServiceStats snapshot = stats_;
+  snapshot.queue_depth = queued_;
+  return snapshot;
+}
+
+std::unique_ptr<SearchService::Pending> SearchService::pop_locked() {
+  for (auto& queue : queues_) {
+    if (queue.empty()) continue;
+    auto pending = std::move(queue.front());
+    queue.pop_front();
+    return pending;
+  }
+  return nullptr;
+}
+
+void SearchService::worker_loop() {
+  for (;;) {
+    std::unique_ptr<Pending> pending;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock,
+               [this] { return stop_ || (!paused_ && queued_ > 0); });
+      if (stop_) return;
+      pending = pop_locked();
+      if (pending == nullptr) continue;
+      queued_ -= 1;
+      busy_ = true;
+      util::metrics::Registry::instance()
+          .gauge("service.queue_depth")
+          .set(static_cast<double>(queued_));
+    }
+
+    run_one(*pending);
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      busy_ = false;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void SearchService::backoff_wait(double ms) {
+  if (ms <= 0.0) return;
+  const auto wait_ns = static_cast<std::uint64_t>(ms * 1e6);
+  if (util::MonotonicClock::is_virtual()) {
+    // Spin on clock reads: each read advances virtual time by 1 µs, so the
+    // wait both terminates and is deterministic (its length in reads
+    // depends only on `ms`).
+    const std::uint64_t target = util::MonotonicClock::now_ns() + wait_ns;
+    while (util::MonotonicClock::now_ns() < target) {
+    }
+    return;
+  }
+  std::this_thread::sleep_for(std::chrono::nanoseconds(wait_ns));
+}
+
+void SearchService::run_one(Pending& pending) {
+  auto& registry = util::metrics::Registry::instance();
+  const std::uint64_t started_ns = util::MonotonicClock::now_ns();
+
+  ServiceResult result;
+  result.service_seq = ++next_seq_;  // worker-only, no lock needed
+  result.queue_wait_ms =
+      static_cast<double>(started_ns - pending.admitted_ns) * 1e-6;
+  registry.histogram("service.queue_wait_seconds")
+      .observe(result.queue_wait_ms * 1e-3);
+
+  // Combine the client's handle with the request deadline. The client's
+  // own state is never mutated; with_deadline links a child onto it.
+  CancellationToken token = pending.request.cancel;
+  if (pending.deadline_ns != 0) token = token.with_deadline(pending.deadline_ns);
+
+  const auto finish = [&](RequestStatus status) {
+    result.status = status;
+    result.wall_ms = static_cast<double>(util::MonotonicClock::now_ns() -
+                                         pending.admitted_ns) *
+                     1e-6;
+    registry.histogram("service.request_wall_seconds")
+        .observe(result.wall_ms * 1e-3);
+    bool counted_completed = false;
+    switch (status) {
+      case RequestStatus::kOk:
+      case RequestStatus::kDegraded:
+        registry.counter("service.completed").add(1);
+        counted_completed = true;
+        break;
+      case RequestStatus::kCancelled:
+        registry.counter("service.cancelled").add(1);
+        if (util::trace_enabled())
+          util::trace_instant("service.cancel", "service", {});
+        break;
+      case RequestStatus::kDeadlineExceeded:
+        registry.counter("service.deadline_exceeded").add(1);
+        if (util::trace_enabled())
+          util::trace_instant("service.expire", "service", {});
+        break;
+      default:
+        registry.counter("service.failed").add(1);
+        break;
+    }
+    if (counted_completed) {
+      // Completed requests carry the session-stamped status ("ok" /
+      // "degraded"); everything else gets the service's terminal label so
+      // report.to_json() still says what happened.
+    } else {
+      result.report.status = report_status_label(status);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      switch (status) {
+        case RequestStatus::kOk:
+        case RequestStatus::kDegraded: stats_.completed += 1; break;
+        case RequestStatus::kCancelled: stats_.cancelled += 1; break;
+        case RequestStatus::kDeadlineExceeded:
+          stats_.deadline_exceeded += 1;
+          break;
+        default: stats_.failed += 1; break;
+      }
+      stats_.transient_retries += result.transient_retries;
+    }
+    pending.promise.set_value(std::move(result));
+  };
+
+  // A request that expired or was cancelled while queued never runs.
+  switch (token.stop_reason()) {
+    case StopReason::kCancelled:
+      result.error_code = SearchErrorCode::kCancelled;
+      result.message = "cancelled while queued";
+      finish(RequestStatus::kCancelled);
+      return;
+    case StopReason::kDeadlineExceeded:
+      result.error_code = SearchErrorCode::kDeadlineExceeded;
+      result.message = "deadline expired while queued";
+      finish(RequestStatus::kDeadlineExceeded);
+      return;
+    case StopReason::kNone: break;
+  }
+
+  double backoff_ms = service_config_.backoff_initial_ms;
+  for (;;) {
+    SearchErrorCode code = SearchErrorCode::kWorkerFailed;
+    bool transient = false;
+    try {
+      result.report = session_.search(
+          std::span<const std::uint8_t>(pending.request.query), token);
+      result.message.clear();
+      result.error_code.reset();
+      finish(result.report.degraded() ? RequestStatus::kDegraded
+                                      : RequestStatus::kOk);
+      return;
+    } catch (const SearchError& e) {
+      if (e.code() == SearchErrorCode::kCancelled) {
+        result.error_code = e.code();
+        result.message = e.what();
+        finish(RequestStatus::kCancelled);
+        return;
+      }
+      if (e.code() == SearchErrorCode::kDeadlineExceeded) {
+        result.error_code = e.code();
+        result.message = e.what();
+        finish(RequestStatus::kDeadlineExceeded);
+        return;
+      }
+      code = e.code();
+      transient = code == SearchErrorCode::kDeviceAllocation ||
+                  code == SearchErrorCode::kDeviceTransfer;
+      result.message = e.what();
+    } catch (const util::FaultInjectedError& e) {
+      // A raw fault-point escape (no translation layer in between):
+      // classify by the point name, same taxonomy the simt layer uses.
+      const std::string_view point = e.point();
+      if (point.find("alloc") != std::string_view::npos) {
+        code = SearchErrorCode::kDeviceAllocation;
+        transient = true;
+      } else if (point.find("transfer") != std::string_view::npos) {
+        code = SearchErrorCode::kDeviceTransfer;
+        transient = true;
+      } else {
+        code = SearchErrorCode::kDeviceLaunch;
+      }
+      result.message = e.what();
+    } catch (const simt::DeviceError& e) {
+      const std::string_view what = e.what();
+      if (what.find("transfer") != std::string_view::npos) {
+        code = SearchErrorCode::kDeviceTransfer;
+        transient = true;
+      } else {
+        code = SearchErrorCode::kDeviceLaunch;
+      }
+      result.message = e.what();
+    } catch (const std::bad_alloc&) {
+      code = SearchErrorCode::kDeviceAllocation;
+      transient = true;
+      result.message = "device allocation failed (bad_alloc)";
+    } catch (const std::exception& e) {
+      code = SearchErrorCode::kWorkerFailed;
+      result.message = e.what();
+    }
+
+    result.error_code = code;
+    const bool retries_left =
+        result.transient_retries < service_config_.max_transient_retries;
+    if (!transient || !retries_left ||
+        token.stop_reason() != StopReason::kNone) {
+      finish(RequestStatus::kFailed);
+      return;
+    }
+
+    result.transient_retries += 1;
+    registry.counter("service.retries").add(1);
+    if (util::trace_enabled())
+      util::trace_instant(
+          "service.retry", "service",
+          {util::targ("attempt",
+                      static_cast<std::uint64_t>(result.transient_retries)),
+           util::targ("code", to_string(code)),
+           util::targ("backoff_ms", backoff_ms)});
+    backoff_wait(std::min(backoff_ms, service_config_.backoff_max_ms));
+    backoff_ms *= service_config_.backoff_multiplier;
+  }
+}
+
+}  // namespace repro::core

@@ -27,6 +27,7 @@
 #pragma once
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <memory>
 #include <stdexcept>
@@ -140,6 +141,18 @@ class Engine {
   [[nodiscard]] const HazardReport& hazards() const { return hazards_; }
   void clear_hazards() { hazards_.clear(); }
 
+  /// Caller-owned cooperative cancel flag (null = none, the default). When
+  /// it reads true mid-launch, remaining blocks/shards of the launch are
+  /// skipped — the launch returns partial stats and the caller is expected
+  /// to abort the query at its next cancellation checkpoint. A flag that
+  /// never fires leaves every result and metric bit-identical. The session
+  /// layer installs the active request's flag around each query so
+  /// service-side cancellation reaches shard granularity.
+  void set_cancel_flag(const std::atomic<bool>* flag) { cancel_flag_ = flag; }
+  [[nodiscard]] const std::atomic<bool>* cancel_flag() const {
+    return cancel_flag_;
+  }
+
   /// Launches a kernel and returns its measured stats (time filled in by
   /// the cost model, occupancy from the launch shape and the shared-memory
   /// high-water mark). Also accumulates into the profile registry.
@@ -163,6 +176,9 @@ class Engine {
     const int shards = shard_count(config.grid_blocks);
     if (shards <= 1) {
       for (int b = 0; b < config.grid_blocks; ++b) {
+        if (cancel_flag_ != nullptr &&
+            cancel_flag_->load(std::memory_order_acquire))
+          break;  // partial stats; the caller aborts at its next checkpoint
         // Round-robin block -> SM assignment for the read-only cache model.
         ReadOnlyCache* cache =
             rocache_enabled_
@@ -206,7 +222,8 @@ class Engine {
               }
             }
             shard_high[shard] = high;
-          });
+          },
+          cancel_flag_);
       // Deterministic merge: shard order is fixed and every counter is a
       // sum (or max), so totals match serial execution bit-for-bit.
       for (std::size_t s = 0; s < shard_stats.size(); ++s) {
@@ -258,6 +275,7 @@ class Engine {
   bool rocache_enabled_ = true;
   bool simtcheck_enabled_ = false;
   int workers_ = 1;
+  const std::atomic<bool>* cancel_flag_ = nullptr;
   std::unique_ptr<util::ThreadPool> pool_;
   std::vector<ReadOnlyCache> sm_caches_;
   ProfileRegistry profile_;

@@ -124,23 +124,31 @@ void ThreadPool::parallel_for_dynamic(
 }
 
 void ThreadPool::run_shards(std::size_t n,
-                            const std::function<void(std::size_t)>& fn) {
+                            const std::function<void(std::size_t)>& fn,
+                            const std::atomic<bool>* external_cancel) {
   if (n == 0) return;
   // Once any shard throws, shards that have not started yet are skipped —
   // their results would be discarded during unwinding anyway, and skipping
-  // them bounds the damage a poisoned launch can do.
+  // them bounds the damage a poisoned launch can do. The store/load pair is
+  // release/acquire: a shard that observes the flag and skips must also
+  // observe everything the failing (or cancelling) thread wrote before
+  // raising it, so the skip decision is never based on a torn view of the
+  // caller's state.
   auto cancelled = std::make_shared<std::atomic<bool>>(false);
   std::vector<std::future<void>> futures;
   futures.reserve(n);
   for (std::size_t shard = 0; shard < n; ++shard)
-    futures.push_back(submit([shard, &fn, cancelled] {
-      if (cancelled->load(std::memory_order_relaxed)) return;
+    futures.push_back(submit([shard, &fn, cancelled, external_cancel] {
+      if (cancelled->load(std::memory_order_acquire)) return;
+      if (external_cancel != nullptr &&
+          external_cancel->load(std::memory_order_acquire))
+        return;
       try {
         // "util.worker" models a worker thread dying mid-shard.
         fault_point_throw("util.worker");
         fn(shard);
       } catch (...) {
-        cancelled->store(true, std::memory_order_relaxed);
+        cancelled->store(true, std::memory_order_release);
         throw;
       }
     }));

@@ -3,6 +3,7 @@
 // multithreaded baseline.
 #pragma once
 
+#include <atomic>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -54,7 +55,17 @@ class ThreadPool {
   /// rethrown after the barrier, so error reporting is deterministic and
   /// no shard can still be touching caller state during unwinding. This is
   /// the join the SM-sharded SIMT engine uses.
-  void run_shards(std::size_t n, const std::function<void(std::size_t)>& fn);
+  ///
+  /// `external_cancel`, when non-null, is a caller-owned stop flag checked
+  /// (acquire) before each shard starts: once it reads true, not-yet-started
+  /// shards are skipped silently. The shards that already ran still joined,
+  /// so the caller sees a normal (partial) return and is expected to abort
+  /// at its own next cancellation checkpoint — this is how service-layer
+  /// cancellation (core/cancellation.hpp) reaches shard granularity without
+  /// the util layer knowing about tokens. A flag that never fires leaves
+  /// behaviour bit-identical to the two-argument overload.
+  void run_shards(std::size_t n, const std::function<void(std::size_t)>& fn,
+                  const std::atomic<bool>* external_cancel = nullptr);
 
   /// Blocks until every task submitted so far has finished.
   void wait_idle();

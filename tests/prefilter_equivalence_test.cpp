@@ -231,12 +231,12 @@ TEST(PrefilterLosslessness, OverriddenThresholdIsHonoredAndDocumentedLossy) {
   EXPECT_TRUE(report.result.alignments.empty());
 }
 
-TEST(PrefilterReport, JsonCarriesSchemaV2AndPrefilterSection) {
+TEST(PrefilterReport, JsonCarriesSchemaV3AndPrefilterSection) {
   const auto w = make_workload(1);
   const auto report = core::CuBlastp(base_config(core::PrefilterMode::kAuto))
                           .search(w.queries[0], w.db);
   const auto json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"cublastp.search_report.v2\""),
+  EXPECT_NE(json.find("\"schema\":\"cublastp.search_report.v3\""),
             std::string::npos);
   EXPECT_NE(json.find("\"prefilter\":{"), std::string::npos);
   EXPECT_NE(json.find("\"mode\":\"auto\""), std::string::npos);

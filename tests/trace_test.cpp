@@ -765,7 +765,9 @@ TEST(SearchReport, ToJsonIsStrictlyValidAndComplete) {
   const auto w = make_workload();
   const auto report = core::CuBlastp(small_config()).search(w.query, w.db);
   const JsonValue root = parse_json(report.to_json());
-  EXPECT_EQ(root.at("schema").string, "cublastp.search_report.v2");
+  EXPECT_EQ(root.at("schema").string, "cublastp.search_report.v3");
+  EXPECT_EQ(root.at("status").string, "ok");
+  EXPECT_GT(root.at("wall_ms").number, 0.0);
   EXPECT_EQ(root.at("prefilter").at("mode").string, "off");
   EXPECT_GT(root.at("gpu_ms").at("hit_detection").number, 0.0);
   EXPECT_GT(root.at("counters").at("hits_detected").number, 0.0);
