@@ -126,6 +126,7 @@ std::string provenance_json(const core::Config& config) {
        << ", \"max_bin_capacity\": " << config.max_bin_capacity
        << ", \"auto_pssm_max_query\": " << config.auto_pssm_max_query
        << ", \"simtcheck\": " << (config.simtcheck ? "true" : "false")
+       << ", \"svccheck\": " << (config.svccheck ? "true" : "false")
        << ", \"prefilter\": \""
        << core::prefilter_mode_name(config.prefilter)
        << "\", \"prefilter_threshold\": " << config.prefilter_threshold

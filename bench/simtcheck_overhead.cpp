@@ -1,0 +1,116 @@
+// simtcheck overhead: wall-clock cost of the five-tool checker family on
+// the full search pipeline — off (the one-null-check baseline), the
+// device-side analyzers (racecheck/synccheck/memcheck/initcheck plus the
+// per-query leakcheck scan), the host-side svccheck analyzer, and both.
+//
+//   ./simtcheck_overhead [--swissprot=N] [--seed=S] [--quick]
+//                        [--repeats=N] [--json_out=PATH]
+//
+// Modes are measured in a fixed order — off first — because the checker
+// switches are deliberately sticky: once any engine enables initcheck,
+// every later device allocation in the process carries a definedness
+// shadow (the way cuda-memcheck keeps instrumenting a context), so an
+// "off" run measured after a checked run would still pay shadow
+// allocation. Writes bench_results/simtcheck_overhead.json.
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/search_session.hpp"
+#include "util/svccheck.hpp"
+#include "util/timer.hpp"
+
+namespace {
+
+struct Mode {
+  const char* name;
+  bool simtcheck;
+  bool svccheck;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace repro;
+  using namespace repro::benchx;
+
+  util::Options options(argc, argv);
+  const auto setup = BenchSetup::from_options(options);
+  print_banner("simtcheck_overhead",
+               "not a paper figure: wall-clock cost of the simtcheck tool "
+               "family (DESIGN.md §15), cuda-memcheck's 2-10x as the "
+               "plausibility yardstick",
+               setup);
+
+  const auto w = make_workload(setup, 517, /*env_nr=*/false);
+  const core::Config base = default_cublastp_config();
+  const auto repeats = static_cast<int>(
+      options.get_int("repeats", options.has("quick") ? 2 : 5));
+
+  // `off` MUST run first (sticky switches; see the file comment).
+  const Mode modes[] = {
+      {"off", false, false},
+      {"svccheck", false, true},
+      {"simtcheck", true, false},
+      {"simtcheck+svccheck", true, true},
+  };
+
+  util::Table table({"mode", "mean (ms)", "overhead"});
+  std::ostringstream points;
+  points.precision(6);
+  points << std::fixed;
+  double baseline_ms = 0.0;
+  bool first = true;
+  for (const Mode& mode : modes) {
+    core::Config config = base;
+    config.simtcheck = mode.simtcheck;
+    config.svccheck = mode.svccheck;
+    core::SearchSession session(config, w.db);
+    (void)session.search(w.query);  // warm-up: upload + first-touch costs
+    util::Timer timer;
+    for (int i = 0; i < repeats; ++i) (void)session.search(w.query);
+    const double mean_ms = timer.seconds() * 1e3 / repeats;
+    if (baseline_ms == 0.0) baseline_ms = mean_ms;
+    const double overhead = mean_ms / baseline_ms;
+
+    char overhead_label[16];
+    std::snprintf(overhead_label, sizeof overhead_label, "%.2fx", overhead);
+    table.add_row({mode.name, util::Table::num(mean_ms, 2), overhead_label});
+    if (!first) points << ",\n";
+    first = false;
+    points << "    {\"mode\": \"" << mode.name
+           << "\", \"simtcheck\": " << (mode.simtcheck ? "true" : "false")
+           << ", \"svccheck\": " << (mode.svccheck ? "true" : "false")
+           << ", \"mean_ms\": " << mean_ms
+           << ", \"overhead_x\": " << overhead << "}";
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::ostringstream json;
+  json.precision(6);
+  json << std::fixed;
+  json << "{\n  \"bench\": \"simtcheck_overhead\",\n";
+  json << "  \"provenance\": " << provenance_json(base) << ",\n";
+  json << "  \"workload\": {\"db\": \"" << w.db_name
+       << "\", \"db_seqs\": " << w.db.size() << ", \"query_length\": 517},\n";
+  json << "  \"repeats\": " << repeats << ",\n";
+  json << "  \"modes\": [\n" << points.str() << "\n  ]\n}\n";
+
+  const std::string out_path =
+      options.get("json_out", "bench_results/simtcheck_overhead.json");
+  std::filesystem::create_directories(
+      std::filesystem::path(out_path).parent_path());
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "simtcheck_overhead: cannot write %s\n",
+                 out_path.c_str());
+    return 1;
+  }
+  out << json.str();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

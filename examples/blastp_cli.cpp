@@ -6,7 +6,7 @@
 //                [--strategy=window|diagonal|hit] [--threads=4]
 //                [--engine_workers=1] [--max_alignments=5]
 //                [--prefilter=off|on|auto] [--prefilter-threshold=N]
-//                [--lenient] [--simtcheck]
+//                [--lenient] [--simtcheck] [--svccheck]
 //                [--trace=out.json] [--metrics=out.prom]
 //                [--report] [--report-json=out.json]
 //
@@ -244,6 +244,14 @@ int run_serve(const util::Options& options, const core::Config& config,
   service.drain();
   const double serve_seconds = serve_timer.seconds();
 
+  // Whole-service hazard aggregate: per-request simtcheck/leakcheck/
+  // checkpoint findings, the svccheck host-concurrency log, and (the
+  // service is idle now) a session leak scan. Like cuda-memcheck, hazards
+  // fail the run with exit 3 even when every request resolved.
+  const simt::HazardReport hazards = service.hazard_report();
+  if (config.simtcheck || config.svccheck || hazards.total != 0)
+    std::fprintf(stderr, "%s\n", hazards.summary().c_str());
+
   const core::ServiceStats stats = service.stats();
   util::Table table({"status", "count"});
   for (const auto& [status, count] : status_counts)
@@ -264,7 +272,7 @@ int run_serve(const util::Options& options, const core::Config& config,
       serve_seconds,
       serve_seconds > 0.0 ? static_cast<double>(resolved) / serve_seconds
                           : 0.0);
-  return 0;
+  return hazards.total != 0 ? 3 : 0;
 }
 
 int run(int argc, char** argv) {
@@ -279,6 +287,7 @@ int run(int argc, char** argv) {
                  "[--engine_workers=W] "
                  "[--prefilter=off|on|auto] [--prefilter-threshold=N] "
                  "[--max_alignments=N] [--lenient] [--simtcheck] "
+                 "[--svccheck] "
                  "[--trace=PATH] [--metrics=PATH] [--report] "
                  "[--report-json=PATH]\n"
                  "       blastp_cli --serve --batch=FASTA --db=FASTA "
@@ -353,7 +362,7 @@ int run(int argc, char** argv) {
       std::printf("Query= %s (%zu letters)\n\n", queries[qi].id.c_str(),
                   queries[qi].length());
       hazards_found |=
-          report_query_health(queries[qi].id, config.simtcheck, report);
+          report_query_health(queries[qi].id, config.simtcheck || config.svccheck, report);
       if (print_report) std::printf("%s\n", report.to_table().c_str());
       print_query_result(queries[qi], db, report.result,
                          batch.per_query_wall_seconds[qi], max_alignments);
@@ -419,7 +428,7 @@ int run(int argc, char** argv) {
       const double elapsed = timer.seconds();
       if (engine_name == "cublastp")
         hazards_found |=
-            report_query_health(query.id, config.simtcheck, report);
+            report_query_health(query.id, config.simtcheck || config.svccheck, report);
       print_query_result(query, db, result, elapsed, max_alignments);
     }
     if (!report_json_path.empty()) {

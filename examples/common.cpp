@@ -46,6 +46,10 @@ core::Config config_from_options(const util::Options& options) {
   // --simtcheck runs every kernel under the hazard analyzer (racecheck/
   // synccheck/memcheck; env REPRO_SIMTCHECK=1 does the same).
   config.simtcheck = options.has("simtcheck");
+  // --svccheck runs the host-side concurrency analyzer (lock-order graph,
+  // blocked-while-locked waits, cancellation checkpoint coverage; env
+  // REPRO_SVCCHECK=1 does the same).
+  config.svccheck = options.has("svccheck");
   // --prefilter=off|on|auto: the lossless SSV pre-filter stage; auto also
   // routes dense blocks to the coarse backend (DESIGN.md §13).
   const std::string prefilter = options.get("prefilter", "off");

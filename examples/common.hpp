@@ -28,6 +28,7 @@ bio::SequenceDatabase load_database(const std::string& path, bool lenient,
 
 /// The engine-config flags shared by the tools: --evalue, --threads,
 /// --engine_workers, --strategy=window|diagonal|hit, --simtcheck,
+/// --svccheck,
 /// --prefilter=off|on|auto, --prefilter-threshold.
 /// Flags a tool doesn't pass keep the paper defaults.
 core::Config config_from_options(const util::Options& options);

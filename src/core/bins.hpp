@@ -64,9 +64,13 @@ struct BinGrid {
         capacity(cap),
         slots(static_cast<std::size_t>(warps) * static_cast<std::size_t>(bins) *
               cap),
+        // counts/overflow are zero-filled (the cudaMemset a real grid setup
+        // performs): the kernels atomically bump them with no prior store.
+        // slots needs no memset — only claimed slots are ever read back.
         counts(static_cast<std::size_t>(warps) *
-               static_cast<std::size_t>(bins)),
-        overflow(1) {}
+                   static_cast<std::size_t>(bins),
+               0),
+        overflow(1, 0) {}
 
   [[nodiscard]] std::size_t total_bins() const {
     return static_cast<std::size_t>(num_warps) *

@@ -31,6 +31,7 @@
 #include <utility>
 
 #include "core/errors.hpp"
+#include "util/svccheck.hpp"
 #include "util/timer.hpp"
 
 namespace repro::core {
@@ -81,11 +82,7 @@ class CancellationToken {
   [[nodiscard]] StopReason stop_reason() const {
     if (state_ == nullptr) return StopReason::kNone;
     if (cancel_requested()) return StopReason::kCancelled;
-    std::uint64_t deadline = 0;
-    for (const cancel_internal::State* s = state_.get(); s != nullptr;
-         s = s->parent.get())
-      if (s->deadline_ns != 0 && (deadline == 0 || s->deadline_ns < deadline))
-        deadline = s->deadline_ns;
+    const std::uint64_t deadline = deadline_ns();
     if (deadline != 0 && util::MonotonicClock::now_ns() >= deadline)
       return StopReason::kDeadlineExceeded;
     return StopReason::kNone;
@@ -93,8 +90,12 @@ class CancellationToken {
 
   /// The pipeline checkpoint: throws SearchError{kCancelled} or
   /// SearchError{kDeadlineExceeded} naming `checkpoint` when the bearer
-  /// should stop. No-op for empty tokens.
+  /// should stop. No-op for empty tokens. Every call — empty token or not —
+  /// registers the checkpoint with svccheck's coverage scope first (one
+  /// relaxed load when the analyzer is off), so checkpoint-gap analysis
+  /// sees exactly the poll sites the pipeline actually reaches.
   void throw_if_stopped(const char* checkpoint) const {
+    util::svc::note_checkpoint(checkpoint);
     if (state_ == nullptr) [[likely]]
       return;
     switch (stop_reason()) {

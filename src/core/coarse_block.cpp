@@ -32,7 +32,9 @@ struct CoarseRecords {
         diag(seq.size()),
         score(seq.size()),
         counts(static_cast<std::size_t>(blocks)),
-        overflow(1),
+        // Zero-filled (the cudaMemset analogue): the kernel atomically
+        // bumps the overflow counter without ever storing a baseline.
+        overflow(1, 0),
         capacity(cap) {}
 };
 
@@ -74,7 +76,9 @@ CoarseBlockOutput run_coarse_block(simt::Engine& engine,
   cfg.regs_per_thread = 56;  // the fused kernel is register-hungry
 
   engine.launch(cfg, [&](BlockCtx& ctx) {
-    auto block_cursor = ctx.shared().alloc<std::uint32_t>(1);
+    // alloc_zeroed: the cursor is atomically bumped with no prior store —
+    // the zero start is part of the kernel contract (a CUDA port memsets).
+    auto block_cursor = ctx.shared().alloc_zeroed<std::uint32_t>(1);
     const std::uint32_t out_region =
         static_cast<std::uint32_t>(ctx.block_id()) * records.capacity;
 

@@ -129,6 +129,13 @@ struct Config {
   /// environment toggle the Engine reads at construction.
   bool simtcheck = false;
 
+  /// Runs the host-side concurrency analyzer (util/svccheck.hpp): lock-
+  /// order graph over the service/pool mutexes, blocked-while-locked
+  /// waits, and cancellation checkpoint-coverage assertions, surfaced as
+  /// SearchReport::hazards. false still honours the REPRO_SVCCHECK
+  /// environment toggle, read when a session or service is constructed.
+  bool svccheck = false;
+
   /// Fault-injection schedule installed into util::FaultInjector for the
   /// duration of each search() (see util/fault.hpp for the grammar).
   /// Empty = leave the process-wide (env-driven) schedule untouched.

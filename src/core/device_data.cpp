@@ -3,12 +3,15 @@
 #include <algorithm>
 #include <limits>
 
+#include "simt/simtcheck.hpp"
+
 namespace repro::core {
 
 QueryDevice::QueryDevice(std::span<const std::uint8_t> query_residues,
                          const blast::WordLookup& lookup,
                          const bio::Pssm& host_pssm)
     : query_length(static_cast<std::uint32_t>(query_residues.size())) {
+  simt::DeviceAllocSite site("core.query_device");
   word_offsets.assign(lookup.offset_buffer().begin(),
                       lookup.offset_buffer().end());
   word_positions.assign(lookup.position_buffer().begin(),
@@ -35,6 +38,7 @@ std::uint64_t QueryDevice::h2d_bytes() const {
 }
 
 PrefilterDevice::PrefilterDevice(const bio::Pssm& host_pssm) {
+  simt::DeviceAllocSite site("core.prefilter_device");
   constexpr std::size_t kRows = static_cast<std::size_t>(bio::kPaddedMatrixDim);
   constexpr std::size_t kReal = static_cast<std::size_t>(bio::kAlphabetSize);
   best_residue.assign(kRows, 0);
@@ -63,6 +67,11 @@ BlockDevice::BlockDevice(const bio::SequenceDatabase& db, std::size_t begin,
   offsets.resize(num_seqs + 1);
   for (std::size_t i = begin; i <= end; ++i)
     offsets[i - begin] = static_cast<std::uint32_t>(db.offsets()[i] - base);
+  // The host-side fill above models the H2D staging copy; tell initcheck
+  // the whole buffer is defined (element writes through operator[] are not
+  // instrumented, only allocator-level fills are).
+  simt::mark_device_initialized(offsets.data(),
+                                offsets.size() * sizeof(std::uint32_t));
   for (std::size_t i = begin; i < end; ++i)
     max_seq_len =
         std::max(max_seq_len, static_cast<std::uint32_t>(db.length(i)));

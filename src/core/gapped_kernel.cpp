@@ -122,6 +122,7 @@ GpuGappedResult launch_gapped_extension_gpu(
   if (num_seeds == 0) return result;
 
   // Stage the seed points device-side.
+  simt::DeviceAllocSite site("core.gapped_gpu");
   simt::DeviceVector<std::uint32_t> seed_seq(num_seeds);
   simt::DeviceVector<std::uint32_t> seed_q(num_seeds);
   simt::DeviceVector<std::uint32_t> seed_s(num_seeds);
@@ -130,6 +131,14 @@ GpuGappedResult launch_gapped_extension_gpu(
     seed_q[i] = extensions[i].q_seed();
     seed_s[i] = extensions[i].s_seed();
   }
+  // Host-loop staging (the H2D copy analogue) — mark the seed arrays
+  // defined for initcheck; per-element stores are not instrumented.
+  simt::mark_device_initialized(seed_seq.data(),
+                                num_seeds * sizeof(std::uint32_t));
+  simt::mark_device_initialized(seed_q.data(),
+                                num_seeds * sizeof(std::uint32_t));
+  simt::mark_device_initialized(seed_s.data(),
+                                num_seeds * sizeof(std::uint32_t));
   simt::DeviceVector<std::int32_t> out(num_seeds);
 
   const int gap_cost = config.params.gap_open + config.params.gap_extend;

@@ -61,7 +61,10 @@ DetectionResult launch_hit_detection(simt::Engine& engine,
 
   engine.launch(cfg, [&](BlockCtx& ctx) {
     const int warps_per_block = ctx.warps_per_block();
-    auto top = ctx.shared().alloc<std::uint32_t>(
+    // alloc_zeroed: the per-bin cursors must start at zero (lanes atomically
+    // claim slots from them with no prior store) — on hardware this is the
+    // cooperative memset a CUDA port has to emit before the scan loop.
+    auto top = ctx.shared().alloc_zeroed<std::uint32_t>(
         static_cast<std::size_t>(warps_per_block) *
         static_cast<std::size_t>(num_bins));
     auto presence = ctx.shared().alloc<std::uint32_t>(

@@ -10,6 +10,7 @@
 #include "core/coarse_block.hpp"
 #include "core/kernels.hpp"
 #include "core/prefilter.hpp"
+#include "simt/simtcheck.hpp"
 #include "util/fault.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -163,6 +164,10 @@ const BlockDevice& BlockResidency::ensure(simt::Engine& engine,
                                           std::size_t bi) {
   if (!resident_[bi].has_value()) {
     const auto [begin, end] = blocks_[bi];
+    // Residency uploads intentionally outlive the query (that is their
+    // point) — tag them so leakcheck's per-query scan skips them.
+    simt::DeviceAllocSite site("core.block_residency");
+    simt::DeviceResidentScope resident;
     resident_[bi].emplace(*db_, begin, end);
     try {
       engine.transfer("h2d_block", resident_[bi]->h2d_bytes());
@@ -189,6 +194,9 @@ BlockOutcome run_block_on_gpu(simt::Engine& engine, const Config& config,
                               std::uint64_t& overflow_retries,
                               SurvivorView survivors) {
   BlockOutcome out;
+  // Every scratch allocation of the fine K1-K5 chain reports under one
+  // leakcheck site — they must all die with this query.
+  simt::DeviceAllocSite site("core.fine_pipeline");
 
   // K1 with overflow-driven capacity growth: a real implementation must
   // re-run when its fixed-size bins overflow (paper §3.2) — but only a
@@ -244,6 +252,7 @@ BlockOutcome run_block_on_coarse(simt::Engine& engine, const Config& config,
                                  const QueryDevice& query,
                                  const BlockDevice& device_block,
                                  std::uint64_t& overflow_retries) {
+  simt::DeviceAllocSite site("core.coarse_pipeline");
   CoarseBlockConfig coarse;
   coarse.params = config.params;
   // Static assignment: deterministic for any engine worker count (the

@@ -31,6 +31,7 @@ PrefilterResult run_prefilter(simt::Engine& engine, const Config& config,
                               const PrefilterDevice& table,
                               const BlockDevice& block, int threshold) {
   util::fault_point_throw("core.prefilter");
+  simt::DeviceAllocSite site("core.prefilter");
 
   const simt::MemKind table_kind = config.use_readonly_cache
                                        ? simt::MemKind::kReadOnly

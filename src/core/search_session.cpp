@@ -14,6 +14,7 @@
 #include "core/query_context.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
+#include "util/svccheck.hpp"
 #include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -25,6 +26,33 @@ namespace {
 /// Modeled GPU time accumulated in `registry` for one kernel name (ms).
 double kernel_ms(const simt::ProfileRegistry& registry, const char* name) {
   return registry.has(name) ? registry.at(name).time_ms : 0.0;
+}
+
+/// The cancellation checkpoints every successful single-query search must
+/// poll (svccheck coverage contract; DESIGN.md §15). The first three are
+/// unconditional; the per-block ones require at least one database block.
+constexpr const char* kAlwaysCheckpoints[] = {"search.entry", "query.start",
+                                              "finalize"};
+constexpr const char* kPerBlockCheckpoints[] = {
+    "gpu_phase.block", "block_ladder.entry", "cpu_phase.block"};
+
+/// Appends a kCheckpointGap hazard for every required checkpoint the scope
+/// never saw polled.
+void append_checkpoint_gaps(const util::svc::CheckpointScope& scope,
+                            bool has_blocks, simt::HazardReport& sink) {
+  auto append = [&](std::span<const char* const> required) {
+    for (const std::string& name : scope.missing(required)) {
+      simt::HazardRecord record;
+      record.kind = simt::HazardKind::kCheckpointGap;
+      record.kernel = "search";
+      record.detail = "cancellation checkpoint '" + name +
+                      "' was never polled during this search — requests "
+                      "cannot stop at that stage boundary";
+      sink.add(std::move(record));
+    }
+  };
+  append(kAlwaysCheckpoints);
+  if (has_blocks) append(kPerBlockCheckpoints);
 }
 
 /// Config::trace_path / Config::metrics_path fall back to the matching
@@ -83,6 +111,15 @@ SearchSession::SearchSession(Config config, const bio::SequenceDatabase& db)
   engine_.set_readonly_cache_enabled(config_.use_readonly_cache);
   engine_.set_workers(config_.engine_workers);
   if (config_.simtcheck) engine_.set_simtcheck_enabled(true);
+  if (config_.svccheck || util::svc::svccheck_env_enabled())
+    util::svc::set_svccheck_enabled(true);
+  // Everything allocated from here on belongs to this session for
+  // leakcheck purposes; see leak_check().
+  session_generation_ = simt::begin_device_generation();
+}
+
+std::uint64_t SearchSession::leak_check(simt::HazardReport& sink) const {
+  return simt::device_leak_check(sink, session_generation_);
 }
 
 std::uint64_t SearchSession::db_device_bytes() const {
@@ -354,6 +391,13 @@ void SearchSession::export_metrics() const {
 SearchReport SearchSession::search(std::span<const std::uint8_t> query,
                                    const CancellationToken& cancel) {
   check_search_limits(query, *db_);
+  // svccheck coverage scope: collects every checkpoint this thread polls
+  // during the search; gaps against the required stage-boundary set are
+  // reported below. The leak floor is this query's own generation, so the
+  // resident database and earlier queries' (already-scanned) state never
+  // alias into this query's scan.
+  util::svc::CheckpointScope checkpoints;
+  const std::uint64_t query_generation = simt::begin_device_generation();
   cancel.throw_if_stopped("search.entry");
 
   std::optional<util::FaultScope> fault_scope;
@@ -369,32 +413,47 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query,
   std::optional<util::TraceSession> trace_session;
   if (!trace_path.empty()) trace_session.emplace(trace_path);
 
-  QueryRun run;
-  run.cancel = cancel;
-  util::TraceSpan search_span("cublastp.search", "core");
-  if (search_span.active()) {
-    search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
-    search_span.arg("db_sequences", static_cast<std::uint64_t>(db_->size()));
-    search_span.arg("db_blocks",
-                    static_cast<std::uint64_t>(config_.db_blocks));
-    search_span.arg("engine_workers", config_.engine_workers);
-  }
+  SearchReport report;
+  {
+    QueryRun run;
+    run.cancel = cancel;
+    util::TraceSpan search_span("cublastp.search", "core");
+    if (search_span.active()) {
+      search_span.arg("query_length", static_cast<std::uint64_t>(query.size()));
+      search_span.arg("db_sequences", static_cast<std::uint64_t>(db_->size()));
+      search_span.arg("db_blocks",
+                      static_cast<std::uint64_t>(config_.db_blocks));
+      search_span.arg("engine_workers", config_.engine_workers);
+    }
 
-  run_gpu_phases(query, run, 0);
-  run_cpu_phases(run);
-  finish_report(run, /*emit_modeled_trace=*/true);
+    run_gpu_phases(query, run, 0);
+    run_cpu_phases(run);
+    finish_report(run, /*emit_modeled_trace=*/true);
 
-  if (search_span.active()) {
-    search_span.arg(
-        "alignments",
-        static_cast<std::uint64_t>(run.report.result.alignments.size()));
-    search_span.arg("degraded_blocks", run.report.degraded_blocks);
-    search_span.arg("faults_absorbed", run.report.faults_encountered);
-  }
-  search_span.end();
+    if (search_span.active()) {
+      search_span.arg(
+          "alignments",
+          static_cast<std::uint64_t>(run.report.result.alignments.size()));
+      search_span.arg("degraded_blocks", run.report.degraded_blocks);
+      search_span.arg("faults_absorbed", run.report.faults_encountered);
+    }
+    search_span.end();
+    report = std::move(run.report);
+  }  // QueryRun dies here: its QueryContext device buffers must all be gone
+     // before the leak scan below, or they would read as leaks.
+
+  // leakcheck: any device allocation made during this query and still live
+  // now outlived it (the DeviceResidentScope-tagged database image is
+  // exempt — outliving queries is its purpose).
+  if (engine_.simtcheck_enabled())
+    simt::device_leak_check(report.hazards, query_generation);
+  // svccheck: assert the stage-boundary checkpoint coverage contract.
+  if (util::svc::svccheck_enabled())
+    append_checkpoint_gaps(checkpoints, residency_.num_blocks() > 0,
+                           report.hazards);
 
   export_metrics();
-  return std::move(run.report);
+  return report;
 }
 
 BatchReport SearchSession::search_batch(
@@ -403,6 +462,9 @@ BatchReport SearchSession::search_batch(
   if (queries.empty()) return batch;
   // Fail fast on any invalid query before any work is scheduled.
   for (const auto& query : queries) check_search_limits(query, *db_);
+  // Leakcheck floor for the whole batch (scanned once, after every run's
+  // device buffers are destroyed).
+  const std::uint64_t batch_generation = simt::begin_device_generation();
 
   // One fault scope around the whole batch: the schedule's fire counters
   // run across all queries, like one long-lived service would see.
@@ -474,6 +536,13 @@ BatchReport SearchSession::search_batch(
     batch.prefilter_survivors += runs[qi]->report.prefilter_survivors;
     batch.reports.push_back(std::move(runs[qi]->report));
   }
+
+  // leakcheck over the batch: destroy every run (and with it every query's
+  // device buffers) first, then scan. Findings land on the first report —
+  // per-query attribution is impossible once queries overlap.
+  runs.clear();
+  if (engine_.simtcheck_enabled())
+    simt::device_leak_check(batch.reports[0].hazards, batch_generation);
 
   batch.batch_wall_seconds = batch_timer.seconds();
   batch.h2d_block_uploads = residency_.uploads() - uploads_before;

@@ -151,6 +151,14 @@ class SearchSession {
   /// pays on the modeled PCIe link before its first kernel.
   [[nodiscard]] std::uint64_t db_device_bytes() const;
 
+  /// Leakcheck over the whole session: appends one kDeviceLeak record per
+  /// allocation site for every live, non-resident device allocation made
+  /// since this session was constructed, and returns the leaked byte
+  /// count. The resident database image (DeviceResidentScope-tagged) is
+  /// exempt — outliving queries is its job. The service layer calls this
+  /// when idle; tests call it after a drain to assert zero.
+  std::uint64_t leak_check(simt::HazardReport& sink) const;
+
  private:
   struct QueryRun;  // per-query in-flight state (search_session.cpp)
 
@@ -173,6 +181,8 @@ class SearchSession {
   const bio::SequenceDatabase* db_;
   simt::Engine engine_;
   BlockResidency residency_;
+  /// Device generation at construction: the floor for leak_check().
+  std::uint64_t session_generation_ = 0;
 };
 
 }  // namespace repro::core

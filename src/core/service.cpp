@@ -62,7 +62,7 @@ SearchService::SearchService(Config config, const bio::SequenceDatabase& db,
 SearchService::~SearchService() {
   drain();
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -102,8 +102,9 @@ std::future<ServiceResult> SearchService::submit(SearchRequest request) {
 
   const auto prio = static_cast<std::size_t>(pending->request.priority);
   std::string reject_reason;
+  bool admitted = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stats_.submitted += 1;
     registry.counter("service.submitted").add(1);
     if (!accepting_) {
@@ -122,21 +123,21 @@ std::future<ServiceResult> SearchService::submit(SearchRequest request) {
       stats_.admitted += 1;
       queues_[prio].push_back(std::move(pending));
       queued_ += 1;
+      admitted = true;
       registry.counter("service.admitted").add(1);
       registry.gauge("service.queue_depth")
           .set(static_cast<double>(queued_));
     }
   }
 
-  if (pending == nullptr) {
-    // Admitted.
+  if (admitted) {
     cv_.notify_one();
     return future;
   }
 
   // Rejected: resolve the future immediately — backpressure is explicit.
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     stats_.rejected += 1;
   }
   registry.counter("service.rejected").add(1);
@@ -163,13 +164,13 @@ ServiceResult SearchService::search(std::vector<std::uint8_t> query,
 }
 
 void SearchService::pause() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   paused_ = true;
 }
 
 void SearchService::resume() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::lock_guard lock(mutex_);
     paused_ = false;
   }
   cv_.notify_all();
@@ -177,23 +178,34 @@ void SearchService::resume() {
 
 void SearchService::drain() {
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock lock(mutex_);
     accepting_ = false;
     paused_ = false;  // a paused service must still be able to drain
     cv_.notify_all();
+    util::svc::note_blocking_wait(&mutex_);
     idle_cv_.wait(lock, [this] { return queued_ == 0 && !busy_; });
   }
-  const std::string metrics_path = config_path_or_env(
-      session_.config().metrics_path, "REPRO_METRICS");
-  if (!metrics_path.empty())
-    util::metrics::Registry::instance().write_file(metrics_path);
-  trace_session_.reset();  // writes the trace file, if we owned a session
+  // Exactly-once flush: concurrent drain() calls all wait for idle above,
+  // but only one of them may tear down the trace session or write the
+  // metrics file (TraceSession::reset is not re-entrant, and a double
+  // metrics write could interleave). The losers return after the winner's
+  // flush completed — call_once blocks them until then.
+  std::call_once(drain_flush_once_, [this] {
+    util::metrics::Registry::instance()
+        .counter("service.drain_flushes")
+        .add(1);
+    const std::string metrics_path = config_path_or_env(
+        session_.config().metrics_path, "REPRO_METRICS");
+    if (!metrics_path.empty())
+      util::metrics::Registry::instance().write_file(metrics_path);
+    trace_session_.reset();  // writes the trace file, if we owned a session
+  });
 }
 
 void SearchService::shutdown() {
   std::vector<std::unique_ptr<Pending>> dropped;
   {
-    std::unique_lock<std::mutex> lock(mutex_);
+    std::unique_lock lock(mutex_);
     accepting_ = false;
     paused_ = false;
     for (auto& queue : queues_)
@@ -204,6 +216,7 @@ void SearchService::shutdown() {
     queued_ = 0;
     stats_.cancelled += dropped.size();
     cv_.notify_all();
+    util::svc::note_blocking_wait(&mutex_);
     idle_cv_.wait(lock, [this] { return !busy_; });
   }
   auto& registry = util::metrics::Registry::instance();
@@ -220,10 +233,60 @@ void SearchService::shutdown() {
 }
 
 ServiceStats SearchService::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard lock(mutex_);
   ServiceStats snapshot = stats_;
   snapshot.queue_depth = queued_;
   return snapshot;
+}
+
+simt::HazardReport svccheck_snapshot() {
+  auto records = util::svc::SvcHazardLog::instance().snapshot();
+  // The log appends in detection order, which depends on thread schedules;
+  // sort by (kind, subject, detail) so snapshots compare bit-identical.
+  std::sort(records.begin(), records.end(),
+            [](const util::svc::SvcHazardRecord& a,
+               const util::svc::SvcHazardRecord& b) {
+              if (a.kind != b.kind) return a.kind < b.kind;
+              if (a.name != b.name) return a.name < b.name;
+              return a.detail < b.detail;
+            });
+  simt::HazardReport report;
+  for (const auto& record : records) {
+    simt::HazardRecord out;
+    switch (record.kind) {
+      case util::svc::SvcHazardKind::kLockOrderInversion:
+        out.kind = simt::HazardKind::kLockOrderInversion;
+        break;
+      case util::svc::SvcHazardKind::kBlockedWhileLocked:
+        out.kind = simt::HazardKind::kBlockedWhileLocked;
+        break;
+      case util::svc::SvcHazardKind::kCheckpointGap:
+        out.kind = simt::HazardKind::kCheckpointGap;
+        break;
+    }
+    out.kernel = "host:" + record.name;
+    out.detail = record.detail;
+    report.add(std::move(out));
+  }
+  return report;
+}
+
+simt::HazardReport SearchService::hazard_report() const {
+  simt::HazardReport report;
+  {
+    std::lock_guard lock(hazards_mu_);
+    report.merge(hazards_);
+  }
+  report.merge(svccheck_snapshot());
+  bool idle = false;
+  {
+    std::lock_guard lock(mutex_);
+    idle = queued_ == 0 && !busy_;
+  }
+  // Leak scan only when idle: an in-flight request legitimately holds
+  // device buffers, and flagging those would be noise, not a leak.
+  if (idle) session_.leak_check(report);
+  return report;
 }
 
 std::unique_ptr<SearchService::Pending> SearchService::pop_locked() {
@@ -240,7 +303,8 @@ void SearchService::worker_loop() {
   for (;;) {
     std::unique_ptr<Pending> pending;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      std::unique_lock lock(mutex_);
+      util::svc::note_blocking_wait(&mutex_);
       cv_.wait(lock,
                [this] { return stop_ || (!paused_ && queued_ > 0); });
       if (stop_) return;
@@ -256,7 +320,7 @@ void SearchService::worker_loop() {
     run_one(*pending);
 
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard lock(mutex_);
       busy_ = false;
     }
     idle_cv_.notify_all();
@@ -322,15 +386,12 @@ void SearchService::run_one(Pending& pending) {
         registry.counter("service.failed").add(1);
         break;
     }
-    if (counted_completed) {
-      // Completed requests carry the session-stamped status ("ok" /
-      // "degraded"); everything else gets the service's terminal label so
-      // report.to_json() still says what happened.
-    } else {
-      result.report.status = report_status_label(status);
-    }
+    // Completed requests carry the session-stamped status ("ok" /
+    // "degraded"); everything else gets the service's terminal label so
+    // report.to_json() still says what happened.
+    if (!counted_completed) result.report.status = report_status_label(status);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      std::lock_guard lock(mutex_);
       switch (status) {
         case RequestStatus::kOk:
         case RequestStatus::kDegraded: stats_.completed += 1; break;
@@ -369,6 +430,13 @@ void SearchService::run_one(Pending& pending) {
           std::span<const std::uint8_t>(pending.request.query), token);
       result.message.clear();
       result.error_code.reset();
+      // Fold this request's hazards (simtcheck + leakcheck + checkpoint
+      // coverage) into the service-lifetime aggregate. Leaf lock, taken
+      // engine-idle — never while mutex_ is held.
+      {
+        std::lock_guard lock(hazards_mu_);
+        hazards_.merge(result.report.hazards);
+      }
       finish(result.report.degraded() ? RequestStatus::kDegraded
                                       : RequestStatus::kOk);
       return;

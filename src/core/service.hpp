@@ -59,6 +59,8 @@
 #include "core/cancellation.hpp"
 #include "core/config.hpp"
 #include "core/search_session.hpp"
+#include "simt/simtcheck.hpp"
+#include "util/svccheck.hpp"
 #include "util/trace.hpp"
 
 namespace repro::core {
@@ -176,6 +178,13 @@ struct ServiceStats {
   std::size_t queue_depth = 0;  ///< queued right now (in-flight excluded)
 };
 
+/// Translates the process-wide svccheck host-concurrency log
+/// (util::svc::SvcHazardLog) into the shared hazard-report schema: lock-
+/// order inversions, blocked-while-locked waits, and checkpoint gaps
+/// recorded anywhere in the process, sorted by (kind, subject) so the
+/// result is bit-identical across runs and thread schedules.
+[[nodiscard]] simt::HazardReport svccheck_snapshot();
+
 /// The long-running front-end. One worker thread owns the SearchSession;
 /// submit() is thread-safe and non-blocking. Destruction drains: queued
 /// and in-flight work finishes (honouring deadlines/cancellation), then
@@ -215,7 +224,9 @@ class SearchService {
 
   /// Stops admission, waits until queued + in-flight work has resolved,
   /// and flushes metrics (Config::metrics_path / REPRO_METRICS) and the
-  /// owned trace session, if any. Idempotent. submit() after drain()
+  /// owned trace session, if any. Idempotent — the flush happens exactly
+  /// once per service lifetime even under concurrent drain() calls (the
+  /// trace-session teardown is not re-entrant). submit() after drain()
   /// rejects.
   void drain();
 
@@ -226,6 +237,15 @@ class SearchService {
 
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const Config& config() const { return session_.config(); }
+
+  /// Point-in-time hazard aggregate for the whole service: every completed
+  /// request's SearchReport::hazards (simtcheck + per-query leakcheck +
+  /// checkpoint coverage), the svccheck host-concurrency log, and — only
+  /// when the service is idle (nothing queued or in flight) — a session-
+  /// generation leak scan, so a drained service asserting zero hazards
+  /// also asserts zero leaked device allocations. Callable from any
+  /// thread.
+  [[nodiscard]] simt::HazardReport hazard_report() const;
 
  private:
   struct Pending {
@@ -246,9 +266,11 @@ class SearchService {
   SearchSession session_;
   ServiceConfig service_config_;
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;        ///< worker wakeup
-  std::condition_variable idle_cv_;   ///< drain() wakeup
+  // CheckedMutex + condition_variable_any: plain mutex semantics plus
+  // svccheck lock-order tracking (see util/svccheck.hpp).
+  mutable util::svc::CheckedMutex mutex_{"core.service.queue"};
+  std::condition_variable_any cv_;        ///< worker wakeup
+  std::condition_variable_any idle_cv_;   ///< drain() wakeup
   std::array<std::deque<std::unique_ptr<Pending>>, kNumPriorities> queues_;
   std::size_t queued_ = 0;    ///< total across queues_
   bool busy_ = false;         ///< worker is running a request
@@ -259,6 +281,13 @@ class SearchService {
   ServiceStats stats_;             ///< guarded by mutex_
   std::uint64_t next_seq_ = 0;     ///< completion sequence (worker only)
 
+  /// Per-request hazard aggregate (merged by the worker after each
+  /// completed request). Its own leaf lock: hazard_report() must not
+  /// contend with admission.
+  mutable util::svc::CheckedMutex hazards_mu_{"core.service.hazards"};
+  simt::HazardReport hazards_;  ///< guarded by hazards_mu_
+
+  std::once_flag drain_flush_once_;  ///< drain() flushes exactly once
   std::unique_ptr<util::TraceSession> trace_session_;
   std::thread worker_;
 };

@@ -6,9 +6,11 @@
 // for anything kernels index.
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <cstdlib>
 #include <new>
+#include <utility>
 #include <vector>
 
 #include "util/fault.hpp"
@@ -20,6 +22,15 @@ namespace repro::simt {
 // analyzer can validate kernel accesses against live buffer extents.
 void register_device_allocation(const void* p, std::size_t bytes);
 void unregister_device_allocation(const void* p) noexcept;
+
+// Initcheck definedness (simtcheck.cpp; see simtcheck.hpp for the model).
+void mark_device_initialized(const void* p, std::size_t bytes);
+
+namespace simtcheck_detail {
+// Sticky initcheck switch, defined in simtcheck.cpp. Declared extern so
+// the construct hook's disabled cost is one inlined relaxed load.
+extern std::atomic<bool> device_shadow_flag;
+}  // namespace simtcheck_detail
 
 template <class T>
 struct DeviceAllocator {
@@ -46,6 +57,21 @@ struct DeviceAllocator {
   void deallocate(T* p, std::size_t) noexcept {
     unregister_device_allocation(p);
     std::free(p);
+  }
+
+  /// Initcheck hook: constructing an element *with* a value models staging
+  /// real host data into the buffer (the cudaMemcpy/cudaMemset analogue),
+  /// so those bytes become defined. Value-construction (vector(n), resize)
+  /// models cudaMalloc leaving garbage — physically the element is still
+  /// zeroed (results never change), but the definedness shadow keeps it
+  /// poisoned until a kernel write or mark_device_initialized defines it.
+  template <class U, class... Args>
+  void construct(U* p, Args&&... args) {
+    ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    if constexpr (sizeof...(Args) > 0) {
+      if (simtcheck_detail::device_shadow_flag.load(std::memory_order_relaxed))
+        mark_device_initialized(p, sizeof(U));
+    }
   }
 
   template <class U>

@@ -12,6 +12,7 @@ namespace repro::simt {
 Engine::Engine(DeviceSpec spec, CostModel cost)
     : spec_(spec), cost_(cost),
       simtcheck_enabled_(simtcheck_env_enabled()) {
+  if (simtcheck_enabled_) set_device_shadow_enabled(true);
   sm_caches_.reserve(static_cast<std::size_t>(spec_.num_sms));
   for (int i = 0; i < spec_.num_sms; ++i)
     sm_caches_.emplace_back(spec_.readonly_cache_bytes,

@@ -130,11 +130,17 @@ class Engine {
   void set_workers(int workers);
   [[nodiscard]] int workers() const { return workers_; }
 
-  /// Enables the simtcheck hazard analyzer (racecheck/synccheck/memcheck;
-  /// see simtcheck.hpp). Defaults to the REPRO_SIMTCHECK environment
-  /// toggle. Disabled, instrumentation is one predictable branch per op
-  /// and every metric stays bit-identical.
-  void set_simtcheck_enabled(bool enabled) { simtcheck_enabled_ = enabled; }
+  /// Enables the simtcheck hazard analyzer (racecheck/synccheck/memcheck/
+  /// initcheck; see simtcheck.hpp). Defaults to the REPRO_SIMTCHECK
+  /// environment toggle. Enabling also turns on the sticky process-wide
+  /// device-shadow switch so allocations made from here on carry initcheck
+  /// definedness state (allocations that predate it are grandfathered
+  /// all-defined). Disabled, instrumentation is one predictable branch per
+  /// op and every metric stays bit-identical.
+  void set_simtcheck_enabled(bool enabled) {
+    simtcheck_enabled_ = enabled;
+    if (enabled) set_device_shadow_enabled(true);
+  }
   [[nodiscard]] bool simtcheck_enabled() const { return simtcheck_enabled_; }
 
   /// Hazards accumulated across every checked launch of this engine.

@@ -33,37 +33,27 @@ class SharedMemory {
         std::align(alignof(std::max_align_t), capacity_bytes, p, space));
   }
 
-  /// Allocates n elements of T, aligned; value-initialized.
+  /// Allocates n elements of T, aligned. Models raw `__shared__` storage:
+  /// the arena zero-fills (so simulated results are reproducible), but the
+  /// initcheck shadow treats every byte as *undefined* until some lane
+  /// writes it — on hardware this memory is garbage at block start. Use
+  /// alloc_zeroed() for buffers whose kernel contract is "starts at zero".
   /// Throws std::bad_alloc-like logic_error when the block's shared budget
   /// is exceeded (a real kernel would fail to launch).
   template <class T>
   std::span<T> alloc(std::size_t n) {
-    static_assert(std::is_trivially_copyable_v<T> &&
-                      std::is_trivially_destructible_v<T>,
-                  "shared memory holds trivially-copyable device types");
-    const std::size_t align = alignof(T);
-    const std::size_t offset = (used_ + align - 1) / align * align;
-    const std::size_t bytes = n * sizeof(T);
-    if (offset + bytes > capacity_)
-      throw std::length_error("SharedMemory: block shared-memory budget "
-                              "exceeded");
-    used_ = offset + bytes;
-    high_water_ = std::max(high_water_, used_);
-    std::uint8_t* raw = base_ + offset;
-    T* base;
-    if constexpr (std::is_trivially_default_constructible_v<T>) {
-      // Implicit-lifetime T: zero the bytes; the array is implicitly
-      // created in the arena's storage ([intro.object]/10) and launder
-      // yields a usable pointer to it.
-      std::memset(raw, 0, bytes);
-      base = std::launder(reinterpret_cast<T*>(raw));
-    } else {
-      // Non-trivial default construction: start each lifetime explicitly.
-      base = reinterpret_cast<T*>(static_cast<void*>(raw));
-      std::uninitialized_value_construct_n(base, n);
-    }
-    if (check_ != nullptr) check_->on_shared_alloc(used_);
-    return {base, n};
+    return alloc_impl<T>(n, /*zeroed=*/false);
+  }
+
+  /// Like alloc(), but declares a cooperative prologue memset: the span is
+  /// defined-at-alloc for initcheck, modeling a kernel that zeroes the
+  /// buffer before first use (a CUDA port must emit that memset — the
+  /// simulator's zero-fill is what this overload makes explicit).
+  /// Physically identical to alloc(), so results, metrics, and occupancy
+  /// never depend on which overload a kernel calls.
+  template <class T>
+  std::span<T> alloc_zeroed(std::size_t n) {
+    return alloc_impl<T>(n, /*zeroed=*/true);
   }
 
   [[nodiscard]] std::size_t used() const { return used_; }
@@ -81,6 +71,37 @@ class SharedMemory {
   }
 
  private:
+  template <class T>
+  std::span<T> alloc_impl(std::size_t n, bool zeroed) {
+    static_assert(std::is_trivially_copyable_v<T> &&
+                      std::is_trivially_destructible_v<T>,
+                  "shared memory holds trivially-copyable device types");
+    const std::size_t align = alignof(T);
+    const std::size_t offset = (used_ + align - 1) / align * align;
+    const std::size_t bytes = n * sizeof(T);
+    if (offset + bytes > capacity_)
+      throw std::length_error("SharedMemory: block shared-memory budget "
+                              "exceeded");
+    const std::size_t old_used = used_;
+    used_ = offset + bytes;
+    high_water_ = std::max(high_water_, used_);
+    std::uint8_t* raw = base_ + offset;
+    T* base;
+    if constexpr (std::is_trivially_default_constructible_v<T>) {
+      // Implicit-lifetime T: zero the bytes; the array is implicitly
+      // created in the arena's storage ([intro.object]/10) and launder
+      // yields a usable pointer to it.
+      std::memset(raw, 0, bytes);
+      base = std::launder(reinterpret_cast<T*>(raw));
+    } else {
+      // Non-trivial default construction: start each lifetime explicitly.
+      base = reinterpret_cast<T*>(static_cast<void*>(raw));
+      std::uninitialized_value_construct_n(base, n);
+    }
+    if (check_ != nullptr) check_->on_shared_alloc(old_used, used_, zeroed);
+    return {base, n};
+  }
+
   std::vector<std::uint8_t> storage_;
   std::size_t capacity_;
   std::uint8_t* base_ = nullptr;

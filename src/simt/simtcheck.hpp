@@ -22,6 +22,19 @@
 //    implicit par() barrier likewise flags a warp arriving divergent.
 //  - Memcheck: accesses past a shared span, into a released (reset())
 //    arena, or outside any registered DeviceAllocator allocation.
+//  - Initcheck: every byte of a device allocation (and of a plain shared
+//    alloc()) starts *undefined* — the simulator's physical zero-fill is an
+//    artifact cudaMalloc and __shared__ do not grant. Bytes become defined
+//    when real host data is staged in (DeviceAllocator's construct hook,
+//    mark_device_initialized), when a kernel writes them, or when the
+//    kernel declares a cooperative memset with SharedMemory::alloc_zeroed.
+//    A read (or atomic RMW) of a still-undefined byte is garbage on
+//    hardware and is flagged. Per block the verdict depends only on the
+//    registry state at launch entry plus the block's own prior writes, so
+//    reports stay bit-identical for any worker count.
+//  - Leakcheck: allocations carry a thread-local site tag, a session
+//    generation, and a resident flag; device_leak_check() reports live
+//    non-resident allocations that outlived their query or session.
 //
 // Determinism: hazards are detected per block (blocks run on exactly one
 // worker each; warps within a block run serially in warp order) and merged
@@ -33,9 +46,11 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -51,8 +66,14 @@ enum class HazardKind {
   kSharedOutOfBounds,     ///< access past a shared span / the live arena
   kSharedUseAfterReset,   ///< access into arena space released by reset()
   kGlobalOutOfBounds,     ///< access outside every registered device buffer
+  kSharedUninitRead,      ///< read of a never-written shared byte (initcheck)
+  kGlobalUninitRead,      ///< read of an undefined device byte (initcheck)
+  kDeviceLeak,            ///< allocation outlived its query (leakcheck)
+  kLockOrderInversion,    ///< host lock-order cycle (svccheck)
+  kBlockedWhileLocked,    ///< host wait holding another lock (svccheck)
+  kCheckpointGap,         ///< cancellation checkpoint never polled (svccheck)
 };
-inline constexpr int kNumHazardKinds = 7;
+inline constexpr int kNumHazardKinds = 13;
 
 [[nodiscard]] const char* hazard_kind_name(HazardKind kind);
 
@@ -91,6 +112,9 @@ struct HazardReport {
     return by_kind[static_cast<std::size_t>(kind)];
   }
   void add(HazardRecord record);
+  /// Folds `other` into this report (counts sum, records append up to
+  /// kMaxRecords) — how the service aggregates per-request reports.
+  void merge(const HazardReport& other);
   void clear();
   /// Human-readable multi-line summary (empty-report safe).
   [[nodiscard]] std::string summary() const;
@@ -99,6 +123,9 @@ struct HazardReport {
 /// Registers a live DeviceAllocator allocation with the memcheck range
 /// table. Called by DeviceAllocator for every allocation, checker or not
 /// (the cost is one mutex-guarded map update per cudaMalloc analogue).
+/// The entry also captures the thread's DeviceAllocSite tag, the current
+/// device generation, the DeviceResidentScope flag, and — when the sticky
+/// initcheck switch is on — a per-byte definedness shadow.
 void register_device_allocation(const void* p, std::size_t bytes);
 void unregister_device_allocation(const void* p) noexcept;
 
@@ -109,6 +136,97 @@ void unregister_device_allocation(const void* p) noexcept;
 
 /// Reads REPRO_SIMTCHECK from the environment ("1"/"true"/"on" enable).
 [[nodiscard]] bool simtcheck_env_enabled();
+
+// ---------------------------------------------------------------------------
+// Initcheck: per-allocation definedness shadows.
+
+/// Per-allocation definedness shadow. Allocated at registration when the
+/// device-shadow switch is on (allocations made before the switch carry no
+/// shadow and are grandfathered all-defined). Bytes flip to defined on
+/// transfer-style construction (DeviceAllocator::construct with a value),
+/// explicit mark_device_initialized calls, and kernel writes (unioned into
+/// the shadow at launch finalize). During a launch the `defined` bytes are
+/// immutable — workers read them lock-free through a cached shared_ptr.
+struct DeviceShadow {
+  std::vector<std::uint8_t> defined;  ///< one flag byte per buffer byte
+  std::atomic<std::uint64_t> undefined_count{0};
+};
+
+/// [begin, end) of the allocation covering an access, plus its shadow
+/// (null: no live allocation, or a pre-switch/grandfathered one).
+struct DeviceRange {
+  std::uintptr_t begin = 0;
+  std::uintptr_t end = 0;
+  std::shared_ptr<DeviceShadow> shadow;
+};
+
+/// Sticky process-wide initcheck switch. Engine::set_simtcheck_enabled(true)
+/// turns it on so every allocation made from then on carries a shadow;
+/// turning it off stops shadowing new allocations but existing shadows keep
+/// tracking (they are still correct, just no longer reported).
+void set_device_shadow_enabled(bool enabled);
+[[nodiscard]] bool device_shadow_enabled();
+
+/// Marks [p, p + bytes) of a live device allocation defined — the analogue
+/// of cudaMemcpy/cudaMemset landing real bytes in device memory. Use after
+/// host-side element-loop staging (operator[] writes bypass the allocator's
+/// construct hook). No-op while the shadow switch is off.
+void mark_device_initialized(const void* p, std::size_t bytes);
+
+// ---------------------------------------------------------------------------
+// Leakcheck: allocation sites, generations, residency.
+
+/// RAII allocation-site tag: device allocations made on this thread while
+/// the scope is alive are attributed to `site` (a string literal; the
+/// registry stores the pointer). Scopes nest; the innermost wins.
+class DeviceAllocSite {
+ public:
+  explicit DeviceAllocSite(const char* site);
+  ~DeviceAllocSite();
+  DeviceAllocSite(const DeviceAllocSite&) = delete;
+  DeviceAllocSite& operator=(const DeviceAllocSite&) = delete;
+
+ private:
+  const char* prev_;
+};
+
+/// RAII residency scope: allocations made on this thread while the scope is
+/// alive are session-resident (the device DB image, uploaded once and
+/// legitimately outliving every query) and excluded from leak scans.
+class DeviceResidentScope {
+ public:
+  DeviceResidentScope();
+  ~DeviceResidentScope();
+  DeviceResidentScope(const DeviceResidentScope&) = delete;
+  DeviceResidentScope& operator=(const DeviceResidentScope&) = delete;
+
+ private:
+  bool prev_;
+};
+
+/// Bumps the process-wide device generation and returns the new value.
+/// Allocations stamp the generation current at their creation; a leak scan
+/// with `min_generation` set to a query/session entry value sees exactly
+/// the allocations made since that point.
+std::uint64_t begin_device_generation();
+[[nodiscard]] std::uint64_t current_device_generation();
+
+/// Live-allocation accounting, for "destroyed session holds nothing" tests.
+struct DeviceAllocationStats {
+  std::uint64_t live_allocations = 0;
+  std::uint64_t live_bytes = 0;
+  std::uint64_t resident_allocations = 0;
+  std::uint64_t resident_bytes = 0;
+};
+[[nodiscard]] DeviceAllocationStats device_allocation_stats();
+
+/// Leakcheck scan: appends one kDeviceLeak record per allocation site that
+/// still owns live non-resident allocations of generation >=
+/// `min_generation`, in site-name order (deterministic; record addresses
+/// are left 0 so reports compare bit-identical across runs). Returns the
+/// total leaked bytes.
+std::uint64_t device_leak_check(HazardReport& sink,
+                                std::uint64_t min_generation);
 
 /// Per-block analyzer state. Each block runs on exactly one worker and its
 /// warps run serially, so no locking is needed; results merge in block-id
@@ -122,7 +240,12 @@ class BlockChecker {
     shared_base_ = reinterpret_cast<std::uintptr_t>(base);
     shared_capacity_ = capacity;
   }
-  void on_shared_alloc(std::size_t used) { shared_used_ = used; }
+  /// A shared alloc grew the arena from `old_used` to `new_used` bytes.
+  /// `zeroed` distinguishes alloc_zeroed (a declared cooperative memset:
+  /// bytes start defined) from plain alloc (__shared__ garbage: bytes start
+  /// undefined until some lane writes them).
+  void on_shared_alloc(std::size_t old_used, std::size_t new_used,
+                       bool zeroed);
   void on_shared_reset() {
     shared_used_ = 0;
     shared_reset_seen_ = true;
@@ -153,6 +276,7 @@ class BlockChecker {
     std::int8_t write_warp = -1;
     std::int8_t read_warp = -1;
     bool write_atomic = false;
+    bool defined = true;  ///< initcheck; alloc() poisons its range to false
   };
 
   /// Per-8-byte-granule plain/atomic write masks (one bit per byte).
@@ -177,6 +301,7 @@ class BlockChecker {
   std::unordered_map<std::uintptr_t, GranuleWrites> global_writes_;
   std::uintptr_t bounds_cache_begin_ = 0;  ///< last allocation hit
   std::uintptr_t bounds_cache_end_ = 0;
+  std::shared_ptr<DeviceShadow> bounds_cache_shadow_;  ///< of the last hit
 
   HazardReport local_;
 };

@@ -1,0 +1,160 @@
+// svccheck: a runtime concurrency analyzer for the *host* layer — the
+// sibling of the device-side simtcheck suite (simt/simtcheck.hpp).
+//
+// The device checkers watch warps and shared memory; svccheck watches the
+// locks, condition-variable waits, and cancellation checkpoints of the
+// service layer (core/service.*, util/thread_pool.*). Three checks:
+//
+//  - lock-order inversion: every blocking CheckedMutex::lock() records the
+//    edges held-lock -> acquired-lock in a global, name-keyed lock-order
+//    graph. An acquisition that would close a cycle (A held while taking B
+//    after B was ever held while taking A) is a potential deadlock and is
+//    reported once per lock pair.
+//  - blocked-while-locked: a condition wait or join that parks the thread
+//    while it still holds *another* CheckedMutex (beyond the one the wait
+//    releases) can starve every contender of that lock; note_blocking_wait
+//    flags it.
+//  - checkpoint gaps: a CheckpointScope collects the cancellation
+//    checkpoints the current thread actually polled (cancellation.hpp
+//    routes every throw_if_stopped through note_checkpoint); the session
+//    layer asserts its required stage-boundary set against it, so a
+//    refactor that silently stops polling a stage turns into a reported
+//    hazard instead of an uncancellable request.
+//
+// Layering: util cannot see simt, so hazards are recorded here as
+// SvcHazardRecords in a process-wide log; the core layer translates them
+// into simt::HazardReport entries for the shared report schema. Records
+// carry names only (never addresses), so reports compare bit-identical
+// across runs and worker counts.
+//
+// Cost when disabled (the default): one relaxed atomic load per lock /
+// unlock / wait / checkpoint — the exact discipline simtcheck uses for its
+// one-null-check contract. No allocation, no extra synchronization.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace repro::util::svc {
+
+/// What a host-side hazard record describes.
+enum class SvcHazardKind : std::uint8_t {
+  kLockOrderInversion,  ///< cyclic lock-order graph edge
+  kBlockedWhileLocked,  ///< blocking wait while holding another lock
+  kCheckpointGap,       ///< required cancellation checkpoint never polled
+};
+
+[[nodiscard]] const char* svc_hazard_kind_name(SvcHazardKind kind);
+
+/// One host-side hazard. `name` identifies the subject (the "A -> B" lock
+/// edge or the checkpoint name); `detail` is the human-readable diagnosis.
+struct SvcHazardRecord {
+  SvcHazardKind kind = SvcHazardKind::kLockOrderInversion;
+  std::string name;
+  std::string detail;
+};
+
+namespace svc_detail {
+/// Process-wide enable switch, inline so the disabled fast path in
+/// note_checkpoint()/CheckedMutex compiles to a single relaxed load.
+inline std::atomic<bool> enabled_flag{false};
+void note_checkpoint_slow(const char* name);
+}  // namespace svc_detail
+
+/// Turns the analyzer on or off process-wide. Enabling is cheap and safe
+/// mid-run; disabling stops recording but keeps the log.
+void set_svccheck_enabled(bool enabled);
+[[nodiscard]] inline bool svccheck_enabled() {
+  return svc_detail::enabled_flag.load(std::memory_order_relaxed);
+}
+/// True when the REPRO_SVCCHECK environment variable asks for the analyzer
+/// (unset, empty, or "0" = off).
+[[nodiscard]] bool svccheck_env_enabled();
+
+/// Process-wide hazard log. Appends dedupe per subject, so a hot lock pair
+/// reports once, not once per acquisition; the log additionally caps at
+/// kMaxRecords appends as a runaway backstop (total() keeps counting).
+class SvcHazardLog {
+ public:
+  static constexpr std::size_t kMaxRecords = 64;
+
+  static SvcHazardLog& instance();
+
+  void record(SvcHazardRecord record);
+  [[nodiscard]] std::vector<SvcHazardRecord> snapshot() const;
+  [[nodiscard]] std::uint64_t total() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<SvcHazardRecord> records_;
+  std::uint64_t total_ = 0;
+};
+
+/// Drop-in std::mutex replacement that participates in the lock-order
+/// graph. Satisfies Lockable, so it works with std::lock_guard,
+/// std::unique_lock, and std::condition_variable_any. `name` keys the
+/// graph: two mutexes with the same name are the same graph node (a pool's
+/// queue lock keeps one identity across pool instances), and self-edges
+/// (re-acquiring the same name on another instance) are never reported.
+class CheckedMutex {
+ public:
+  explicit CheckedMutex(std::string name) : name_(std::move(name)) {}
+
+  CheckedMutex(const CheckedMutex&) = delete;
+  CheckedMutex& operator=(const CheckedMutex&) = delete;
+
+  void lock();
+  void unlock();
+  bool try_lock();
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::mutex mu_;
+};
+
+/// Call immediately before a blocking wait (condition variable, join,
+/// future::get) that releases `about_to_release`. Reports
+/// kBlockedWhileLocked when the calling thread still holds any *other*
+/// CheckedMutex across the park. Pass nullptr for waits that release
+/// nothing (joins, future waits).
+void note_blocking_wait(const CheckedMutex* about_to_release);
+
+/// Records that the current thread polled a cancellation checkpoint.
+/// CancellationToken::throw_if_stopped calls this unconditionally — the
+/// disabled cost is the one relaxed load below.
+inline void note_checkpoint(const char* name) {
+  if (svc_detail::enabled_flag.load(std::memory_order_relaxed))
+    svc_detail::note_checkpoint_slow(name);
+}
+
+/// Collects the checkpoints polled on the current thread between
+/// construction and destruction. Nestable (the innermost scope records);
+/// the session layer opens one around a search and asserts its required
+/// stage-boundary checkpoints with missing().
+class CheckpointScope {
+ public:
+  CheckpointScope();
+  ~CheckpointScope();
+
+  CheckpointScope(const CheckpointScope&) = delete;
+  CheckpointScope& operator=(const CheckpointScope&) = delete;
+
+  [[nodiscard]] bool polled(const char* name) const;
+  /// The subset of `required` never polled in this scope, in input order.
+  [[nodiscard]] std::vector<std::string> missing(
+      std::span<const char* const> required) const;
+
+ private:
+  friend void svc_detail::note_checkpoint_slow(const char* name);
+  CheckpointScope* prev_;
+  std::vector<std::string> polled_;
+};
+
+}  // namespace repro::util::svc

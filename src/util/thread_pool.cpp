@@ -20,6 +20,7 @@ void join_all(std::vector<std::future<void>>& futures) {
   std::exception_ptr first_error;
   for (auto& f : futures) {
     try {
+      svc::note_blocking_wait(nullptr);  // future join parks this thread
       f.get();
     } catch (...) {
       if (!first_error) first_error = std::current_exception();
@@ -31,7 +32,9 @@ void join_all(std::vector<std::future<void>>& futures) {
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t num_threads, std::string name)
-    : name_(std::move(name)), task_span_name_(name_ + ".task") {
+    : name_(std::move(name)),
+      task_span_name_(name_ + ".task"),
+      mutex_("util.thread_pool." + name_) {
   if (num_threads == 0) num_threads = 1;
   workers_.reserve(num_threads);
   for (std::size_t i = 0; i < num_threads; ++i)
@@ -44,6 +47,7 @@ ThreadPool::~ThreadPool() {
     stop_ = true;
   }
   cv_.notify_all();
+  svc::note_blocking_wait(nullptr);  // joining while holding a lock stalls it
   for (auto& w : workers_) w.join();
 }
 
@@ -55,6 +59,7 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     std::function<void()> task;
     {
       std::unique_lock lock(mutex_);
+      svc::note_blocking_wait(&mutex_);
       cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
@@ -157,6 +162,7 @@ void ThreadPool::run_shards(std::size_t n,
 
 void ThreadPool::wait_idle() {
   std::unique_lock lock(mutex_);
+  svc::note_blocking_wait(&mutex_);
   idle_cv_.wait(lock, [this] { return tasks_.empty() && in_flight_ == 0; });
 }
 

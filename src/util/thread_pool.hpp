@@ -8,10 +8,11 @@
 #include <cstddef>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/svccheck.hpp"
 
 namespace repro::util {
 
@@ -23,8 +24,10 @@ namespace repro::util {
 /// makespan.hpp) honest about what the real scheduler does.
 class ThreadPool {
  public:
-  /// `name` labels the pool's worker tracks in traces ("<name>-worker-N")
-  /// and its task spans ("<name>.task"); it has no scheduling effect.
+  /// `name` labels the pool's worker tracks in traces ("<name>-worker-N"),
+  /// its task spans ("<name>.task"), and its queue lock in the svccheck
+  /// lock-order graph ("util.thread_pool.<name>"); it has no scheduling
+  /// effect.
   explicit ThreadPool(std::size_t num_threads, std::string name = "pool");
   ~ThreadPool();
 
@@ -78,9 +81,12 @@ class ThreadPool {
                                 ///< per task while disabled
   std::vector<std::thread> workers_;
   std::queue<std::function<void()>> tasks_;
-  std::mutex mutex_;
-  std::condition_variable cv_;
-  std::condition_variable idle_cv_;
+  // CheckedMutex + condition_variable_any: identical semantics to a plain
+  // mutex/condvar pair, plus svccheck lock-order tracking (one relaxed
+  // load per operation when the analyzer is off).
+  svc::CheckedMutex mutex_;
+  std::condition_variable_any cv_;
+  std::condition_variable_any idle_cv_;
   std::size_t in_flight_ = 0;
   bool stop_ = false;
 };
