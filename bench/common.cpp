@@ -145,6 +145,89 @@ std::string provenance_json(const core::Config& config) {
   return json.str();
 }
 
+BenchResult::BenchResult(std::string bench_name, const core::Config& config,
+                         const BenchSetup& setup)
+    : bench_name_(std::move(bench_name)),
+      provenance_(provenance_json(config)),
+      setup_(setup) {}
+
+void BenchResult::set_workload(const Workload& workload) {
+  std::ostringstream json;
+  json << "{\"query\": \"" << workload.query_name << "\", \"db\": \""
+       << workload.db_name << "\", \"db_seqs\": " << workload.db.size()
+       << "}";
+  workload_ = json.str();
+}
+
+namespace {
+std::string format_double(double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  return buf;
+}
+}  // namespace
+
+void BenchResult::deterministic(const std::string& key, double value) {
+  deterministic_.emplace_back(key, format_double(value));
+}
+void BenchResult::deterministic(const std::string& key, std::uint64_t value) {
+  deterministic_.emplace_back(key, std::to_string(value));
+}
+void BenchResult::deterministic_raw(const std::string& key,
+                                    const std::string& json) {
+  deterministic_.emplace_back(key, json);
+}
+void BenchResult::measured(const std::string& key, double value) {
+  measured_.emplace_back(key, format_double(value));
+}
+void BenchResult::measured_raw(const std::string& key,
+                               const std::string& json) {
+  measured_.emplace_back(key, json);
+}
+
+std::string BenchResult::to_json() const {
+  std::ostringstream json;
+  json << "{\n  \"schema\": \"cublastp.bench.v1\",\n";
+  json << "  \"bench\": \"" << bench_name_ << "\",\n";
+  json << "  \"provenance\": " << provenance_ << ",\n";
+  json << "  \"scale\": {\"swissprot_seqs\": " << setup_.swissprot_seqs
+       << ", \"env_nr_seqs\": " << setup_.env_nr_seqs
+       << ", \"seed\": " << setup_.seed << "},\n";
+  if (!workload_.empty()) json << "  \"workload\": " << workload_ << ",\n";
+  auto emit_section = [&](const char* name, const auto& entries) {
+    json << "  \"" << name << "\": {";
+    bool first = true;
+    for (const auto& [key, value] : entries) {
+      if (!first) json << ",";
+      json << "\n    \"" << key << "\": " << value;
+      first = false;
+    }
+    json << (entries.empty() ? "}" : "\n  }");
+  };
+  emit_section("deterministic", deterministic_);
+  json << ",\n";
+  emit_section("measured", measured_);
+  json << "\n}\n";
+  return json.str();
+}
+
+int BenchResult::write(const util::Options& options,
+                       const std::string& default_path) const {
+  const std::string out_path = options.get("json_out", default_path);
+  const std::filesystem::path path(out_path);
+  std::error_code dir_error;
+  if (path.has_parent_path())
+    std::filesystem::create_directories(path.parent_path(), dir_error);
+  std::ofstream out(path);
+  if (dir_error || !out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << to_json();
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}
+
 int run_engine_wallclock_json(const util::Options& options,
                               const BenchSetup& setup,
                               const std::string& bench_name) {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "baselines/coarse_gpu.hpp"
@@ -63,6 +64,51 @@ void print_banner(const std::string& figure, const std::string& paper_claim,
 /// that shaped the run. Embedded in every bench_results/*.json so a result
 /// file found later is attributable without the shell history.
 [[nodiscard]] std::string provenance_json(const core::Config& config);
+
+/// Builds one bench_results JSON document (schema "cublastp.bench.v1"):
+/// provenance + workload stamp + a "deterministic" section (modeled
+/// numbers, identical across runs and machines at a given scale — what
+/// scripts/check_bench_regression.py compares against the committed
+/// baseline) + a "measured" section (host wall-clock and anything else
+/// machine-dependent; informational only, never gated).
+///
+///   benchx::BenchResult result("fig19_profiling", config, setup);
+///   result.deterministic("filter_survival_ratio", ratio);
+///   result.measured("host_wall_s", timer.seconds());
+///   result.write(options, "bench_results/fig19_profiling.json");
+///
+/// Values are raw JSON fragments: the double/uint64 overloads format
+/// scalars, and the string overload passes objects/arrays through
+/// verbatim, so nested structure composes without a JSON library.
+class BenchResult {
+ public:
+  BenchResult(std::string bench_name, const core::Config& config,
+              const BenchSetup& setup);
+
+  /// Stamps query/db names and the database size.
+  void set_workload(const Workload& workload);
+
+  void deterministic(const std::string& key, double value);
+  void deterministic(const std::string& key, std::uint64_t value);
+  void deterministic_raw(const std::string& key, const std::string& json);
+  void measured(const std::string& key, double value);
+  void measured_raw(const std::string& key, const std::string& json);
+
+  [[nodiscard]] std::string to_json() const;
+
+  /// Writes to --json_out (default `default_path`), creating directories.
+  /// Returns a process exit code (0 ok, 1 I/O failure).
+  int write(const util::Options& options,
+            const std::string& default_path) const;
+
+ private:
+  std::string bench_name_;
+  std::string provenance_;
+  std::string workload_;
+  BenchSetup setup_;
+  std::vector<std::pair<std::string, std::string>> deterministic_;
+  std::vector<std::pair<std::string, std::string>> measured_;
+};
 
 /// `--json` mode: measures the cuBLASTP engine's host wall-clock (serial
 /// vs the SM-sharded parallel engine with 2 and 4 workers) alongside the

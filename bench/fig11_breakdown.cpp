@@ -68,5 +68,21 @@ int main(int argc, char** argv) {
               100.0 * fsa.timings.gapped_extension / fsa.timings.total(),
               100.0 * cu1.result.timings.gapped_extension /
                   cu1.result.timings.total());
-  return 0;
+
+  benchx::BenchResult json("fig11_breakdown", four_cpu, setup);
+  json.set_workload(w);
+  json.deterministic("alignments",
+                     static_cast<std::uint64_t>(
+                         cu4.result.alignments.size()));
+  json.deterministic("gpu_critical_ms", cu4.gpu_critical_ms());
+  json.measured("fsa_total_s", fsa.timings.total());
+  json.measured("cu1_total_s", cu1.result.timings.total());
+  json.measured("cu4_total_s", cu4.result.timings.total());
+  json.measured("overall_speedup_vs_fsa", overall_speedup);
+  json.measured("fsa_gapped_share",
+                fsa.timings.gapped_extension / fsa.timings.total());
+  json.measured("cu1_gapped_share",
+                cu1.result.timings.gapped_extension /
+                    cu1.result.timings.total());
+  return json.write(options, "bench_results/fig11_breakdown.json");
 }

@@ -4,6 +4,7 @@
 // Paper: both phases exhibit strong scaling — speedups approach 2x at two
 // threads and continue climbing to ~2.5-3.5x at four threads.
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
   const auto w = benchx::make_workload(setup, 517, /*env_nr=*/false);
 
   double gapped1 = 0.0, traceback1 = 0.0;
+  std::uint64_t alignments = 0;
+  std::ostringstream runs;
+  runs << "[";
   util::Table table({"threads", "gapped (ms)", "gapped speedup",
                      "traceback (ms)", "traceback speedup"});
   for (const std::size_t threads : {1u, 2u, 4u, 8u}) {
@@ -29,16 +33,31 @@ int main(int argc, char** argv) {
       gapped1 = report.gapped_seconds;
       traceback1 = report.traceback_seconds;
     }
+    alignments = report.result.alignments.size();
     table.add_row(
         {std::to_string(threads),
          util::Table::num(report.gapped_seconds * 1e3, 2),
          util::Table::num(gapped1 / report.gapped_seconds, 2) + "x",
          util::Table::num(report.traceback_seconds * 1e3, 2),
          util::Table::num(traceback1 / report.traceback_seconds, 2) + "x"});
+    if (threads != 1) runs << ", ";
+    runs << "{\"threads\": " << threads
+         << ", \"gapped_s\": " << report.gapped_seconds
+         << ", \"traceback_s\": " << report.traceback_seconds
+         << ", \"gapped_speedup\": " << gapped1 / report.gapped_seconds
+         << ", \"traceback_speedup\": "
+         << traceback1 / report.traceback_seconds << "}";
   }
+  runs << "]";
   std::printf("%s", table.render().c_str());
   std::printf("\n(8-thread row extends the paper's 1/2/4 sweep; scaling is\n"
               " the T-worker makespan of measured per-seed task costs,\n"
               " see DESIGN.md on the single-core substitution.)\n");
-  return 0;
+
+  benchx::BenchResult json("fig13_cpu_scaling",
+                           benchx::default_cublastp_config(), setup);
+  json.set_workload(w);
+  json.deterministic("alignments", alignments);
+  json.measured_raw("runs", runs.str());
+  return json.write(options, "bench_results/fig13_cpu_scaling.json");
 }

@@ -6,6 +6,7 @@
 // degrades sharply past 128 bins because the per-warp top[] counters eat
 // shared memory and depress occupancy; 128 bins/warp minimizes the total.
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -24,6 +25,9 @@ int main(int argc, char** argv) {
   util::Table table({"bins/warp", "detection (ms)", "sorting (ms)",
                      "filtering (ms)", "extension (ms)", "total kernels (ms)",
                      "detection occupancy"});
+  std::ostringstream runs;
+  runs << "[";
+  bool first = true;
   for (const int bins : {32, 64, 128, 256}) {
     auto config = benchx::default_cublastp_config();
     config.num_bins_per_warp = bins;
@@ -36,7 +40,23 @@ int main(int argc, char** argv) {
          util::Table::num(report.gpu_critical_ms(), 2),
          util::Table::num(
              report.profile.at(core::kKernelDetection).occupancy, 2)});
+    if (!first) runs << ", ";
+    first = false;
+    runs << "{\"bins_per_warp\": " << bins
+         << ", \"detection_ms\": " << report.detection_ms
+         << ", \"sorting_ms\": " << report.sorting_group_ms()
+         << ", \"filter_ms\": " << report.filter_ms
+         << ", \"extension_ms\": " << report.extension_ms
+         << ", \"total_kernels_ms\": " << report.gpu_critical_ms()
+         << ", \"detection_occupancy\": "
+         << report.profile.at(core::kKernelDetection).occupancy << "}";
   }
+  runs << "]";
   std::printf("%s", table.render().c_str());
-  return 0;
+
+  benchx::BenchResult json("fig14_bins", benchx::default_cublastp_config(),
+                           setup);
+  json.set_workload(w);
+  json.deterministic_raw("runs", runs.str());
+  return json.write(options, "bench_results/fig14_bins.json");
 }

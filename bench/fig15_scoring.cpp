@@ -6,6 +6,7 @@
 // 64 bytes/column stop fitting shared memory and crush occupancy (past 768
 // residues it cannot fit at all).
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -22,6 +23,9 @@ int main(int argc, char** argv) {
   util::Table table({"query", "PSSM kernels (ms)", "BLOSUM62 kernels (ms)",
                      "BLOSUM62 advantage", "PSSM ext occupancy",
                      "BLOSUM62 ext occupancy"});
+  std::ostringstream runs;
+  runs << "[";
+  bool first = true;
   for (const std::size_t qlen : benchx::kQueryLengths) {
     const auto w = benchx::make_workload(setup, qlen, /*env_nr=*/false);
 
@@ -43,9 +47,24 @@ int main(int argc, char** argv) {
              pssm.profile.at(core::kKernelExtension).occupancy, 2),
          util::Table::num(
              blosum.profile.at(core::kKernelExtension).occupancy, 2)});
+    if (!first) runs << ", ";
+    first = false;
+    runs << "{\"query\": \"" << w.query_name
+         << "\", \"pssm_kernels_ms\": " << pssm.gpu_critical_ms()
+         << ", \"blosum_kernels_ms\": " << blosum.gpu_critical_ms()
+         << ", \"blosum_advantage\": " << advantage / 100.0
+         << ", \"pssm_ext_occupancy\": "
+         << pssm.profile.at(core::kKernelExtension).occupancy
+         << ", \"blosum_ext_occupancy\": "
+         << blosum.profile.at(core::kKernelExtension).occupancy << "}";
   }
+  runs << "]";
   std::printf("%s", table.render().c_str());
   std::printf("\n(positive advantage = BLOSUM62 faster, matching the "
               "paper's sign at 517/1054; negative at 127)\n");
-  return 0;
+
+  benchx::BenchResult json("fig15_scoring",
+                           benchx::default_cublastp_config(), setup);
+  json.deterministic_raw("runs", runs.str());
+  return json.write(options, "bench_results/fig15_scoring.json");
 }

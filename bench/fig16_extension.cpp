@@ -5,6 +5,7 @@
 // based and 38/36/27% faster than hit-based for query127/517/1054;
 // (b) window-based also has by far the lowest divergence overhead.
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -33,6 +34,9 @@ int main(int argc, char** argv) {
                           "window vs hit"});
   util::Table div_table({"query", "diagonal divergence", "hit divergence",
                          "window divergence"});
+  std::ostringstream runs;
+  runs << "[";
+  bool first = true;
   for (const std::size_t qlen : benchx::kQueryLengths) {
     const auto w = benchx::make_workload(setup, qlen, /*env_nr=*/false);
     double ms[3] = {};
@@ -53,10 +57,23 @@ int main(int argc, char** argv) {
     div_table.add_row({w.query_name, util::Table::num(divergence[0], 3),
                        util::Table::num(divergence[1], 3),
                        util::Table::num(divergence[2], 3)});
+    if (!first) runs << ", ";
+    first = false;
+    runs << "{\"query\": \"" << w.query_name
+         << "\", \"diagonal_ms\": " << ms[0] << ", \"hit_ms\": " << ms[1]
+         << ", \"window_ms\": " << ms[2]
+         << ", \"diagonal_divergence\": " << divergence[0]
+         << ", \"hit_divergence\": " << divergence[1]
+         << ", \"window_divergence\": " << divergence[2] << "}";
   }
+  runs << "]";
   std::printf("(a) ungapped-extension kernel time\n%s\n",
               time_table.render().c_str());
   std::printf("(b) divergence overhead (fraction of issue slots idle)\n%s",
               div_table.render().c_str());
-  return 0;
+
+  benchx::BenchResult json("fig16_extension",
+                           benchx::default_cublastp_config(), setup);
+  json.deterministic_raw("runs", runs.str());
+  return json.write(options, "bench_results/fig16_extension.json");
 }

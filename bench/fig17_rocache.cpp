@@ -4,6 +4,7 @@
 // Paper: cuBLASTP improves for every query length when the read-only
 // cache is enabled.
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
 
@@ -19,6 +20,9 @@ int main(int argc, char** argv) {
 
   util::Table table({"query", "without ro-cache (ms)", "with ro-cache (ms)",
                      "improvement", "ro-cache hit ratio"});
+  std::ostringstream runs;
+  runs << "[";
+  bool first = true;
   for (const std::size_t qlen : benchx::kQueryLengths) {
     const auto w = benchx::make_workload(setup, qlen, /*env_nr=*/false);
 
@@ -42,7 +46,22 @@ int main(int argc, char** argv) {
          util::Table::num(
              with.profile.at(core::kKernelDetection).rocache_hit_ratio(),
              3)});
+    if (!first) runs << ", ";
+    first = false;
+    runs << "{\"query\": \"" << w.query_name
+         << "\", \"without_ms\": " << without.gpu_critical_ms()
+         << ", \"with_ms\": " << with.gpu_critical_ms()
+         << ", \"improvement\": "
+         << without.gpu_critical_ms() / with.gpu_critical_ms() - 1.0
+         << ", \"rocache_hit_ratio\": "
+         << with.profile.at(core::kKernelDetection).rocache_hit_ratio()
+         << "}";
   }
+  runs << "]";
   std::printf("%s", table.render().c_str());
-  return 0;
+
+  benchx::BenchResult json("fig17_rocache",
+                           benchx::default_cublastp_config(), setup);
+  json.deterministic_raw("runs", runs.str());
+  return json.write(options, "bench_results/fig17_rocache.json");
 }

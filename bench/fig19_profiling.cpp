@@ -9,9 +9,18 @@
 // CUDA-BLASTP and 11.5% for GPU-BLASTP; cuBLASTP kernels also show far
 // lower divergence and higher occupancy; "Other" (DFA/PSSM build, output)
 // is ~18% of cuBLASTP's total.
+//
+// The cuBLASTP side of the table comes from the continuous profiler
+// (simt::prof::ContinuousProfiler) — the same aggregate a live service
+// exposes through /statusz — so this bench doubles as a fixture for the
+// profiler's phase grouping. Writes bench_results/fig19_profiling.json
+// (schema cublastp.bench.v1; see scripts/check_bench_regression.py).
 #include <cstdio>
+#include <sstream>
 
 #include "common.hpp"
+#include "core/search_session.hpp"
+#include "util/timer.hpp"
 
 int main(int argc, char** argv) {
   using namespace repro;
@@ -26,48 +35,38 @@ int main(int argc, char** argv) {
       setup);
 
   const auto w = benchx::make_workload(setup, 517, /*env_nr=*/true);
+  const auto config = benchx::default_cublastp_config();
 
-  const auto cu = core::CuBlastp(benchx::default_cublastp_config())
-                      .search(w.query, w.db);
+  util::Timer timer;
+  core::SearchSession session(config, w.db);
+  const auto cu = session.search(w.query);
+  const double host_wall_s = timer.seconds();
+  const auto& profiler = session.profiler();
+
   const auto cuda = baselines::cuda_blastp_search(
       w.query, w.db, benchx::default_coarse_config());
   const auto gpu = baselines::gpu_blastp_search(
       w.query, w.db, benchx::default_coarse_config());
 
-  const struct {
-    const char* label;
-    const char* kernel;
-  } fine_kernels[] = {
-      {"hit detection", core::kKernelDetection},
-      {"hit sorting", core::kKernelSort},
-      {"hit filtering", core::kKernelFilter},
-      {"ungapped extension", core::kKernelExtension},
-  };
+  // (a-c) per-phase profile, straight from the continuous profiler.
+  std::printf("(a-c) cuBLASTP per-phase profile (continuous profiler)\n%s\n",
+              profiler.to_table().c_str());
 
-  util::Table table({"kernel", "load efficiency", "divergence overhead",
-                     "occupancy"});
-  for (const auto& k : fine_kernels) {
-    const auto& stats = cu.profile.at(k.kernel);
-    table.add_row({std::string("cuBLASTP ") + k.label,
-                   util::Table::num(stats.global_load_efficiency() * 100, 1) +
-                       "%",
-                   util::Table::num(stats.divergence_overhead() * 100, 1) +
-                       "%",
-                   util::Table::num(stats.occupancy * 100, 1) + "%"});
-  }
+  util::Table coarse({"kernel", "load efficiency", "divergence overhead",
+                      "occupancy"});
   for (const auto& [name, report] :
        {std::pair<const char*, const baselines::CoarseReport*>{
             "CUDA-BLASTP fused kernel", &cuda},
         {"GPU-BLASTP fused kernel", &gpu}}) {
     const auto& stats = report->profile.at(baselines::kCoarseKernel);
-    table.add_row({name,
-                   util::Table::num(stats.global_load_efficiency() * 100, 1) +
-                       "%",
-                   util::Table::num(stats.divergence_overhead() * 100, 1) +
-                       "%",
-                   util::Table::num(stats.occupancy * 100, 1) + "%"});
+    coarse.add_row({name,
+                    util::Table::num(stats.global_load_efficiency() * 100, 1) +
+                        "%",
+                    util::Table::num(stats.divergence_overhead() * 100, 1) +
+                        "%",
+                    util::Table::num(stats.occupancy * 100, 1) + "%"});
   }
-  std::printf("(a-c) per-kernel profile\n%s\n", table.render().c_str());
+  std::printf("coarse baselines\n%s\n", coarse.render().c_str());
 
   // (d) cuBLASTP execution breakdown.
   const double total = cu.serial_total_seconds;
@@ -94,5 +93,52 @@ int main(int argc, char** argv) {
 
   std::printf("Filter survival ratio (paper §3.3: 5-11%%): %.1f%%\n",
               cu.result.counters.filter_survival_ratio() * 100.0);
-  return 0;
+
+  // JSON result: the per-phase numbers are modeled (bit-stable at a given
+  // scale); the CPU-stage seconds are host-measured.
+  benchx::BenchResult result("fig19_profiling", config, setup);
+  result.set_workload(w);
+  {
+    std::ostringstream phases;
+    phases << "{";
+    bool first = true;
+    for (const auto& phase : profiler.phases()) {
+      if (!first) phases << ", ";
+      first = false;
+      phases << "\"" << phase.phase << "\": {\"modeled_ms\": "
+             << phase.stats.time_ms << ", \"share\": " << phase.share
+             << ", \"load_efficiency\": "
+             << phase.stats.global_load_efficiency()
+             << ", \"divergence_overhead\": "
+             << phase.stats.divergence_overhead()
+             << ", \"occupancy\": " << phase.stats.occupancy << "}";
+    }
+    phases << "}";
+    result.deterministic_raw("phases", phases.str());
+  }
+  for (const auto& [name, report] :
+       {std::pair<const char*, const baselines::CoarseReport*>{
+            "cuda_blastp", &cuda},
+        {"gpu_blastp", &gpu}}) {
+    const auto& stats = report->profile.at(baselines::kCoarseKernel);
+    std::ostringstream coarse_json;
+    coarse_json << "{\"load_efficiency\": "
+                << stats.global_load_efficiency()
+                << ", \"divergence_overhead\": "
+                << stats.divergence_overhead()
+                << ", \"occupancy\": " << stats.occupancy << "}";
+    result.deterministic_raw(name, coarse_json.str());
+  }
+  result.deterministic("modeled_total_ms", profiler.total_modeled_ms());
+  result.deterministic("filter_survival_ratio",
+                       cu.result.counters.filter_survival_ratio());
+  result.deterministic("gpu_critical_ms", cu.gpu_critical_ms());
+  result.deterministic("alignments",
+                       static_cast<std::uint64_t>(
+                           cu.result.alignments.size()));
+  result.measured("host_wall_s", host_wall_s);
+  result.measured("gapped_seconds", cu.gapped_seconds);
+  result.measured("traceback_seconds", cu.traceback_seconds);
+  result.measured("other_seconds", cu.other_seconds);
+  return result.write(options, "bench_results/fig19_profiling.json");
 }

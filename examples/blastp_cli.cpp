@@ -32,6 +32,16 @@
 //   --cancel-queries=i,j       submit those indices pre-cancelled
 //   --queue-capacity=N         admission queue bound (default 16)
 //   --per-priority-limit=N     per-class cap (default 0 = none)
+// Serve-mode observability (DESIGN.md §16):
+//   --slo-ms=X                 latency objective; slower requests burn
+//                              service.slo.violations and trigger dumps
+//   --flight-dir=DIR           per-query flight recorder; queries that end
+//                              degraded/failed/cancelled/expired or past
+//                              the SLO dump flight_<seq>_<status>.json
+//   --statusz=PATH             periodic live-status JSON rewrite
+//   --statusz-period-ms=X      statusz rewrite period (default 500)
+//   --log=PATH                 structured JSONL event log (admission,
+//                              dispatch, completion, drain, ...)
 // Serve mode prints a per-status summary and exits 0 even when requests
 // were rejected or expired — backpressure is the service working as
 // designed, not a tool failure.
@@ -42,7 +52,9 @@
 //
 // Observability: --trace records one Chrome-trace session spanning every
 // query (load in chrome://tracing or Perfetto); --metrics exports the
-// process metrics registry (.prom/.txt = Prometheus text, else JSON);
+// process metrics registry (.prom/.txt = Prometheus text, .json = JSON;
+// anything else is an error); --profile=out.json writes the continuous
+// profiler's cumulative per-phase document (schema cublastp.profile.v1);
 // --report prints the per-query phase/counter tables; --report-json writes
 // the structured run report(s) (schema cublastp.search_report.v3).
 //
@@ -184,6 +196,12 @@ int run_serve(const util::Options& options, const core::Config& config,
       static_cast<std::size_t>(options.get_int("queue-capacity", 16));
   service_config.per_priority_limit =
       static_cast<std::size_t>(options.get_int("per-priority-limit", 0));
+  service_config.slo_ms = options.get_double("slo-ms", 0.0);
+  service_config.flight_dir = options.get("flight-dir", "");
+  service_config.statusz_path = options.get("statusz", "");
+  service_config.statusz_period_ms =
+      options.get_double("statusz-period-ms", 500.0);
+  service_config.event_log_path = options.get("log", "");
   const auto clients = static_cast<std::size_t>(
       std::max<std::int64_t>(1, options.get_int("serve-clients", 2)));
   const auto repeat = static_cast<std::size_t>(
@@ -288,12 +306,14 @@ int run(int argc, char** argv) {
                  "[--prefilter=off|on|auto] [--prefilter-threshold=N] "
                  "[--max_alignments=N] [--lenient] [--simtcheck] "
                  "[--svccheck] "
-                 "[--trace=PATH] [--metrics=PATH] [--report] "
-                 "[--report-json=PATH]\n"
+                 "[--trace=PATH] [--metrics=PATH] [--profile=PATH] "
+                 "[--report] [--report-json=PATH]\n"
                  "       blastp_cli --serve --batch=FASTA --db=FASTA "
                  "[--serve-clients=N] [--serve-repeat=N] [--deadline-ms=X] "
                  "[--deadline-queries=i:ms,...] [--cancel-queries=i,...] "
-                 "[--queue-capacity=N] [--per-priority-limit=N]\n");
+                 "[--queue-capacity=N] [--per-priority-limit=N] "
+                 "[--slo-ms=X] [--flight-dir=DIR] [--statusz=PATH] "
+                 "[--statusz-period-ms=X] [--log=PATH]\n");
     return 2;
   }
 
@@ -306,7 +326,8 @@ int run(int argc, char** argv) {
   std::printf("Database: %zu sequences; %llu total letters\n\n", db.size(),
               static_cast<unsigned long long>(db.total_residues()));
 
-  const core::Config config = examples::config_from_options(options);
+  core::Config config = examples::config_from_options(options);
+  config.profile_path = options.get("profile", "");
   const std::string engine_name = options.get("engine", "cublastp");
   const auto max_alignments =
       static_cast<std::size_t>(options.get_int("max_alignments", 5));
@@ -389,6 +410,13 @@ int run(int argc, char** argv) {
     std::optional<core::SearchService> service;
     if (engine_name == "cublastp" && deadline_ms > 0.0)
       service.emplace(config, db);
+    // With --profile (and no service), queries go through one resident
+    // SearchSession so the continuous profiler accumulates across the run
+    // and exports after every query (CuBlastp one-shots have no profiler).
+    std::optional<core::SearchSession> session;
+    if (engine_name == "cublastp" && !service.has_value() &&
+        !config.profile_path.empty())
+      session.emplace(config, db);
     for (const auto& query : queries) {
       std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),
                   query.length());
@@ -417,6 +445,8 @@ int run(int argc, char** argv) {
             continue;
           }
           report = std::move(sres.report);
+        } else if (session.has_value()) {
+          report = session->search(query.residues);
         } else {
           report = core::CuBlastp(config).search(query.residues, db);
         }

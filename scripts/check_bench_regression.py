@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Gate bench results against committed baselines.
+
+Compares the "deterministic" section of fresh cublastp.bench.v1 JSON
+files against the committed baselines in bench_results/. Integer values
+(counters, alignment counts, run-list shapes) must match exactly. Float
+values carry a relative tolerance band: most of the modeled cost model
+is bit-stable for a given scale/seed, but the read-only-cache simulation
+hashes heap addresses, so cache hit ratios — and the modeled times and
+derived ratios that fold them in — drift a few percent between processes
+(observed up to ~7% on the smallest workloads). The default band covers
+that variance; a real perf-model regression shows up as a much larger
+shift or as integer/shape changes.
+
+The "measured" section (host wall clock, speedup ratios folding CPU
+time) is never gated — it varies run to run on shared CI runners.
+
+Exit codes: 0 all benches within tolerance, 1 regression or structural
+mismatch, 2 usage/IO error.
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+SCHEMA = "cublastp.bench.v1"
+
+
+def load_bench(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise SystemExit(f"error: cannot read {path}: {e}")
+    if doc.get("schema") != SCHEMA:
+        return None
+    return doc
+
+
+def compare(base, fresh, tolerance, path=""):
+    """Recursively compare baseline vs fresh values.
+
+    Returns a list of human-readable mismatch strings. Numbers compare
+    with relative tolerance; ints, strings, bools exactly; containers
+    must match in shape.
+    """
+    diffs = []
+    if isinstance(base, dict) and isinstance(fresh, dict):
+        for key in sorted(set(base) | set(fresh)):
+            sub = f"{path}.{key}" if path else key
+            if key not in base:
+                diffs.append(f"{sub}: new key (absent from baseline)")
+            elif key not in fresh:
+                diffs.append(f"{sub}: missing from fresh run")
+            else:
+                diffs += compare(base[key], fresh[key], tolerance, sub)
+        return diffs
+    if isinstance(base, list) and isinstance(fresh, list):
+        if len(base) != len(fresh):
+            diffs.append(
+                f"{path}: length {len(base)} -> {len(fresh)}")
+            return diffs
+        for i, (b, f) in enumerate(zip(base, fresh)):
+            diffs += compare(b, f, tolerance, f"{path}[{i}]")
+        return diffs
+    # bool is an int subclass; compare it exactly, before the numeric path.
+    if isinstance(base, bool) or isinstance(fresh, bool):
+        if base is not fresh:
+            diffs.append(f"{path}: {base} -> {fresh}")
+        return diffs
+    if isinstance(base, (int, float)) and isinstance(fresh, (int, float)):
+        if isinstance(base, int) and isinstance(fresh, int):
+            if base != fresh:
+                diffs.append(f"{path}: {base} -> {fresh}")
+            return diffs
+        if math.isclose(base, fresh, rel_tol=tolerance, abs_tol=1e-12):
+            return diffs
+        rel = abs(fresh - base) / max(abs(base), 1e-300)
+        diffs.append(
+            f"{path}: {base!r} -> {fresh!r} (rel diff {rel:.3e} > "
+            f"{tolerance:.1e})")
+        return diffs
+    if base != fresh:
+        diffs.append(f"{path}: {base!r} -> {fresh!r}")
+    return diffs
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Gate fresh bench JSON against committed baselines.")
+    parser.add_argument("--baseline", default="bench_results",
+                        help="directory of committed baseline JSON")
+    parser.add_argument("--fresh", required=True,
+                        help="directory of freshly generated JSON")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="relative tolerance band for float "
+                             "comparisons (default 0.20 — absorbs the "
+                             "address-hashed cache model's variance)")
+    args = parser.parse_args()
+
+    baseline_dir = Path(args.baseline)
+    fresh_dir = Path(args.fresh)
+    if not fresh_dir.is_dir():
+        raise SystemExit(f"error: fresh dir {fresh_dir} does not exist")
+
+    fresh_files = sorted(fresh_dir.glob("*.json"))
+    if not fresh_files:
+        raise SystemExit(f"error: no *.json files in {fresh_dir}")
+
+    failed = []
+    checked = 0
+    for fresh_path in fresh_files:
+        fresh_doc = load_bench(fresh_path)
+        if fresh_doc is None:
+            print(f"SKIP  {fresh_path.name}: not a {SCHEMA} document")
+            continue
+        base_path = baseline_dir / fresh_path.name
+        if not base_path.exists():
+            print(f"WARN  {fresh_path.name}: no committed baseline "
+                  f"(new bench — commit it to start gating)")
+            continue
+        base_doc = load_bench(base_path)
+        if base_doc is None:
+            failed.append(fresh_path.name)
+            print(f"FAIL  {fresh_path.name}: baseline is not {SCHEMA}")
+            continue
+
+        # Scale/seed must match or the comparison is meaningless.
+        diffs = compare(base_doc.get("scale", {}),
+                        fresh_doc.get("scale", {}), 0.0, "scale")
+        diffs += compare(base_doc.get("deterministic", {}),
+                         fresh_doc.get("deterministic", {}),
+                         args.tolerance, "deterministic")
+        checked += 1
+        if diffs:
+            failed.append(fresh_path.name)
+            print(f"FAIL  {fresh_path.name}: "
+                  f"{len(diffs)} mismatch(es)")
+            for d in diffs[:20]:
+                print(f"        {d}")
+            if len(diffs) > 20:
+                print(f"        ... and {len(diffs) - 20} more")
+        else:
+            print(f"OK    {fresh_path.name}")
+
+    if checked == 0:
+        raise SystemExit("error: no benches were actually gated "
+                         "(all skipped or missing baselines)")
+    if failed:
+        print(f"\n{len(failed)}/{checked} bench(es) regressed: "
+              f"{', '.join(failed)}")
+        return 1
+    print(f"\nall {checked} gated bench(es) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -36,6 +36,31 @@
 
 namespace repro::core {
 
+/// Live pipeline-stage beacon for service introspection (DESIGN.md §16):
+/// every cancellation checkpoint publishes its name here as it is polled,
+/// so SearchService::status_snapshot can say *where* the in-flight query
+/// currently is without any per-stage plumbing. The stored pointer must be
+/// a string literal (every checkpoint site passes one), which is what makes
+/// a raw const char* store race-free and allocation-free — one relaxed
+/// store per checkpoint, nothing on the lane-level hot path. Process-wide
+/// by design: one worker thread runs queries at a time.
+namespace stage_beacon {
+inline std::atomic<const char*>& slot() {
+  static std::atomic<const char*> current{nullptr};
+  return current;
+}
+}  // namespace stage_beacon
+
+inline void note_pipeline_stage(const char* checkpoint) {
+  stage_beacon::slot().store(checkpoint, std::memory_order_relaxed);
+}
+
+/// The most recently polled checkpoint name (nullptr when no query has
+/// reached a checkpoint since the last note_pipeline_stage(nullptr)).
+[[nodiscard]] inline const char* current_pipeline_stage() {
+  return stage_beacon::slot().load(std::memory_order_relaxed);
+}
+
 /// Why a token says to stop (kNone = keep going).
 enum class StopReason : std::uint8_t {
   kNone,
@@ -96,6 +121,7 @@ class CancellationToken {
   /// sees exactly the poll sites the pipeline actually reaches.
   void throw_if_stopped(const char* checkpoint) const {
     util::svc::note_checkpoint(checkpoint);
+    note_pipeline_stage(checkpoint);
     if (state_ == nullptr) [[likely]]
       return;
     switch (stop_reason()) {

@@ -151,9 +151,18 @@ struct Config {
   std::string trace_path;
 
   /// Non-empty: the process metrics registry is exported here after
-  /// search() (".prom"/".txt" = Prometheus text, else JSON). Empty: the
+  /// search() (".prom"/".txt" = Prometheus text, ".json" = JSON; any other
+  /// extension is a SearchError{kInvalidArgument}). Empty: the
   /// REPRO_METRICS environment variable is honoured the same way.
   std::string metrics_path;
+
+  /// Non-empty: the session's continuous profiler (simt/simtprof.hpp)
+  /// exports its cumulative "cublastp.profile.v1" JSON here after every
+  /// search/batch, so the file always holds the run-to-date aggregate.
+  /// Must end in ".json". Empty: the REPRO_PROFILE environment variable is
+  /// honoured the same way; if neither is set nothing is written (the
+  /// profiler still aggregates — collection is always on and cheap).
+  std::string profile_path;
 
   [[nodiscard]] int detection_warps() const {
     return detection_blocks * detection_block_threads / 32;

@@ -4,11 +4,13 @@
 #include <future>
 #include <memory>
 #include <optional>
+#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/coarse_block.hpp"
+#include "core/errors.hpp"
 #include "core/kernels.hpp"
 #include "core/prefilter.hpp"
 #include "core/query_context.hpp"
@@ -116,6 +118,7 @@ SearchSession::SearchSession(Config config, const bio::SequenceDatabase& db)
   // Everything allocated from here on belongs to this session for
   // leakcheck purposes; see leak_check().
   session_generation_ = simt::begin_device_generation();
+  profiler_.set_device(engine_.spec());
 }
 
 std::uint64_t SearchSession::leak_check(simt::HazardReport& sink) const {
@@ -379,13 +382,36 @@ void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
   registry.counter("core.prefilter_degraded_blocks")
       .add(report.prefilter_degraded_blocks);
   registry.histogram("core.search_wall_seconds").observe(run.wall_seconds);
+
+  // Continuous profiler: fold this query's per-kernel delta into the
+  // session-lifetime aggregate (simtprof; DESIGN.md §16). Collection is
+  // unconditional — it reads counters the engine already measured, so it
+  // cannot perturb results — and export stays gated on a path.
+  profiler_.record_search(report.profile, report.wall_ms);
 }
 
 void SearchSession::export_metrics() const {
   const std::string metrics_path =
       path_or_env(config_.metrics_path, "REPRO_METRICS");
-  if (!metrics_path.empty())
+  if (metrics_path.empty()) return;
+  try {
     util::metrics::Registry::instance().write_file(metrics_path);
+  } catch (const std::invalid_argument& e) {
+    // The util layer cannot name SearchError (layering); translate here so
+    // a typo'd --metrics path surfaces through the core error taxonomy.
+    throw SearchError(SearchErrorCode::kInvalidArgument, e.what());
+  }
+}
+
+void SearchSession::export_profile() const {
+  const std::string profile_path =
+      path_or_env(config_.profile_path, "REPRO_PROFILE");
+  if (profile_path.empty()) return;
+  try {
+    profiler_.write_file(profile_path);
+  } catch (const std::invalid_argument& e) {
+    throw SearchError(SearchErrorCode::kInvalidArgument, e.what());
+  }
 }
 
 SearchReport SearchSession::search(std::span<const std::uint8_t> query,
@@ -453,6 +479,7 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query,
                            report.hazards);
 
   export_metrics();
+  export_profile();
   return report;
 }
 
@@ -583,6 +610,7 @@ BatchReport SearchSession::search_batch(
   registry.histogram("core.batch_wall_seconds")
       .observe(batch.batch_wall_seconds);
   export_metrics();
+  export_profile();
   return batch;
 }
 

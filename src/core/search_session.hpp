@@ -32,6 +32,7 @@
 #include "core/cublastp.hpp"
 #include "core/pipeline.hpp"
 #include "simt/engine.hpp"
+#include "simt/simtprof.hpp"
 
 namespace repro::core {
 
@@ -151,6 +152,19 @@ class SearchSession {
   /// pays on the modeled PCIe link before its first kernel.
   [[nodiscard]] std::uint64_t db_device_bytes() const;
 
+  /// The session's continuous profiler: every finished query's per-kernel
+  /// ProfileRegistry delta is folded in (always on — see DESIGN.md §16).
+  /// The service layer reads it for status snapshots; tests and the CLI
+  /// read it for the Fig. 19-style table.
+  [[nodiscard]] const simt::prof::ContinuousProfiler& profiler() const {
+    return profiler_;
+  }
+
+  /// Writes the profiler's cumulative "cublastp.profile.v1" JSON to
+  /// Config::profile_path (or REPRO_PROFILE); no-op when neither is set.
+  /// An unrecognized extension throws SearchError{kInvalidArgument}.
+  void export_profile() const;
+
   /// Leakcheck over the whole session: appends one kDeviceLeak record per
   /// allocation site for every live, non-resident device allocation made
   /// since this session was constructed, and returns the leaked byte
@@ -181,6 +195,7 @@ class SearchSession {
   const bio::SequenceDatabase* db_;
   simt::Engine engine_;
   BlockResidency residency_;
+  simt::prof::ContinuousProfiler profiler_;
   /// Device generation at construction: the floor for leak_check().
   std::uint64_t session_generation_ = 0;
 };

@@ -5,16 +5,24 @@
 #include "core/service.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
 #include <exception>
+#include <filesystem>
+#include <fstream>
 #include <new>
+#include <stdexcept>
 #include <string_view>
 #include <utility>
 
 #include "core/query_context.hpp"
 #include "simt/engine.hpp"
 #include "util/fault.hpp"
+#include "util/flight_recorder.hpp"
+#include "util/json.hpp"
+#include "util/log.hpp"
 #include "util/metrics.hpp"
 #include "util/timer.hpp"
 #include "util/trace.hpp"
@@ -56,7 +64,43 @@ SearchService::SearchService(Config config, const bio::SequenceDatabase& db,
   if (!trace_path.empty())
     trace_session_ = std::make_unique<util::TraceSession>(trace_path);
 
+  start_ns_ = util::MonotonicClock::now_ns();
+
+  // Flight recorder (tail-based per-query tracing; util/flight_recorder.hpp).
+  flight_recording_ = !service_config_.flight_dir.empty();
+  if (flight_recording_) {
+    service_config_.flight_ring_events =
+        std::max<std::size_t>(1, service_config_.flight_ring_events);
+    util::FlightRecorder::instance().configure(
+        service_config_.flight_ring_events);
+  }
+
+  // Structured JSONL event log (util/log.hpp).
+  const std::string event_log_path = config_path_or_env(
+      service_config_.event_log_path, "REPRO_EVENT_LOG");
+  if (!event_log_path.empty()) {
+    util::log::open(event_log_path);
+    event_log_owned_ = util::log::enabled();
+    if (event_log_owned_)
+      util::log::event(
+          "service.start",
+          {util::targ("queue_capacity",
+                      static_cast<std::uint64_t>(
+                          service_config_.queue_capacity)),
+           util::targ("slo_ms", service_config_.slo_ms),
+           util::targ("flight",
+                      flight_recording_ ? "on" : "off")});
+  }
+
   worker_ = std::thread([this] { worker_loop(); });
+
+  // Periodic statusz dumps, on their own thread so a long-running request
+  // cannot stall introspection.
+  if (!service_config_.statusz_path.empty()) {
+    service_config_.statusz_period_ms =
+        std::max(1.0, service_config_.statusz_period_ms);
+    statusz_thread_ = std::thread([this] { statusz_loop(); });
+  }
 }
 
 SearchService::~SearchService() {
@@ -67,6 +111,13 @@ SearchService::~SearchService() {
   }
   cv_.notify_all();
   if (worker_.joinable()) worker_.join();
+  {
+    std::lock_guard lock(statusz_mu_);
+    statusz_stop_ = true;
+  }
+  statusz_cv_.notify_all();
+  if (statusz_thread_.joinable()) statusz_thread_.join();
+  if (event_log_owned_) util::log::close();
 }
 
 std::future<ServiceResult> SearchService::submit(SearchRequest request) {
@@ -131,6 +182,11 @@ std::future<ServiceResult> SearchService::submit(SearchRequest request) {
   }
 
   if (admitted) {
+    if (util::log::enabled())
+      util::log::event(
+          "service.admit",
+          {util::targ("priority", request_priority_name(
+                                      static_cast<RequestPriority>(prio)))});
     cv_.notify_one();
     return future;
   }
@@ -144,6 +200,9 @@ std::future<ServiceResult> SearchService::submit(SearchRequest request) {
   if (util::trace_enabled())
     util::trace_instant("service.reject", "service",
                         {util::targ("reason", reject_reason)});
+  if (util::log::enabled())
+    util::log::event("service.reject",
+                     {util::targ("reason", reject_reason)});
   ServiceResult result;
   result.status = RequestStatus::kRejected;
   result.error_code = SearchErrorCode::kRejected;
@@ -194,10 +253,31 @@ void SearchService::drain() {
     util::metrics::Registry::instance()
         .counter("service.drain_flushes")
         .add(1);
+    // Flush failures (bad extension, unwritable path) must not abort the
+    // drain — it runs from the destructor — so report and keep flushing
+    // the remaining surfaces.
     const std::string metrics_path = config_path_or_env(
         session_.config().metrics_path, "REPRO_METRICS");
-    if (!metrics_path.empty())
-      util::metrics::Registry::instance().write_file(metrics_path);
+    try {
+      if (!metrics_path.empty())
+        util::metrics::Registry::instance().write_file(metrics_path);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "drain: metrics flush failed: %s\n", e.what());
+    }
+    try {
+      session_.export_profile();
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "drain: profile flush failed: %s\n", e.what());
+    }
+    if (!service_config_.statusz_path.empty())
+      write_statusz(service_config_.statusz_path);
+    if (util::log::enabled()) {
+      const ServiceStats final_stats = stats();
+      util::log::event("service.drain",
+                       {util::targ("completed", final_stats.completed),
+                        util::targ("rejected", final_stats.rejected),
+                        util::targ("failed", final_stats.failed)});
+    }
     trace_session_.reset();  // writes the trace file, if we owned a session
   });
 }
@@ -237,6 +317,124 @@ ServiceStats SearchService::stats() const {
   ServiceStats snapshot = stats_;
   snapshot.queue_depth = queued_;
   return snapshot;
+}
+
+std::string ServiceStatus::to_json() const {
+  auto b = [](bool v) { return std::string(v ? "true" : "false"); };
+  auto n = [](std::uint64_t v) { return util::json_num(v); };
+  std::string out = "{\"schema\":\"cublastp.statusz.v1\"";
+  out += ",\"uptime_ms\":" + util::json_num(uptime_ms);
+  out += ",\"accepting\":" + b(accepting);
+  out += ",\"paused\":" + b(paused);
+  out += ",\"busy\":" + b(busy);
+  out += ",\"queues\":{\"interactive\":" + n(queue_depths[0]) +
+         ",\"normal\":" + n(queue_depths[1]) +
+         ",\"batch\":" + n(queue_depths[2]) +
+         ",\"total\":" + n(queue_depth) + "}";
+  out += ",\"stats\":{\"submitted\":" + n(stats.submitted) +
+         ",\"admitted\":" + n(stats.admitted) +
+         ",\"rejected\":" + n(stats.rejected) +
+         ",\"completed\":" + n(stats.completed) +
+         ",\"cancelled\":" + n(stats.cancelled) +
+         ",\"deadline_exceeded\":" + n(stats.deadline_exceeded) +
+         ",\"failed\":" + n(stats.failed) +
+         ",\"transient_retries\":" + n(stats.transient_retries) + "}";
+  if (busy) {
+    out += ",\"in_flight\":{\"seq\":" + n(in_flight_seq) +
+           ",\"query_length\":" + n(in_flight_query_length) +
+           ",\"stage\":" + util::json_str(in_flight_stage) + "}";
+  } else {
+    out += ",\"in_flight\":null";
+  }
+  out += ",\"slo\":{\"objective_ms\":" + util::json_num(slo_ms) +
+         ",\"ok\":" + n(slo_ok) + ",\"violations\":" + n(slo_violations) +
+         ",\"flight_dumps\":" + n(flight_dumps) + "}";
+  out += ",\"latency_quantiles_s\":{\"p50\":" + util::json_num(wall_p50_s) +
+         ",\"p95\":" + util::json_num(wall_p95_s) +
+         ",\"p99\":" + util::json_num(wall_p99_s) + "}";
+  out += ",\"profile\":" +
+         (profile_summary_json.empty() ? std::string("null")
+                                       : profile_summary_json);
+  out += "}";
+  return out;
+}
+
+ServiceStatus SearchService::status_snapshot() const {
+  ServiceStatus snapshot;
+  const std::uint64_t now_ns = util::MonotonicClock::now_ns();
+  {
+    std::lock_guard lock(mutex_);
+    snapshot.uptime_ms = static_cast<double>(now_ns - start_ns_) * 1e-6;
+    snapshot.accepting = accepting_;
+    snapshot.paused = paused_;
+    snapshot.busy = busy_;
+    for (std::size_t i = 0; i < kNumPriorities; ++i)
+      snapshot.queue_depths[i] = queues_[i].size();
+    snapshot.queue_depth = queued_;
+    snapshot.stats = stats_;
+    snapshot.stats.queue_depth = queued_;
+    snapshot.in_flight_seq = in_flight_seq_;
+    snapshot.in_flight_query_length = in_flight_query_length_;
+    snapshot.slo_ms = service_config_.slo_ms;
+    snapshot.slo_ok = slo_ok_;
+    snapshot.slo_violations = slo_violations_;
+    snapshot.flight_dumps = flight_dumps_;
+  }
+  if (snapshot.busy) {
+    // The beacon may briefly lag the in-flight bookkeeping (both are
+    // updated without a common lock); a stale stage name is acceptable
+    // introspection noise.
+    const char* stage = current_pipeline_stage();
+    if (stage != nullptr) snapshot.in_flight_stage = stage;
+  }
+  auto& wall = util::metrics::Registry::instance().histogram(
+      "service.request_wall_seconds");
+  snapshot.wall_p50_s = wall.quantile(0.50);
+  snapshot.wall_p95_s = wall.quantile(0.95);
+  snapshot.wall_p99_s = wall.quantile(0.99);
+  snapshot.profile_summary_json = session_.profiler().summary_json();
+  return snapshot;
+}
+
+bool SearchService::write_statusz(const std::string& path) const {
+  const std::string json = status_snapshot().to_json() + "\n";
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  // Write-then-rename: a reader (or the drain flush racing the periodic
+  // thread) never observes a partial document. Unique temp names keep
+  // concurrent writers off each other's bytes; rename order picks the
+  // winner, and both candidates are complete documents.
+  static std::atomic<std::uint64_t> temp_seq{0};
+  const std::string temp =
+      path + ".tmp" + std::to_string(temp_seq.fetch_add(1));
+  {
+    std::ofstream out(temp, std::ios::trunc);
+    if (!out) return false;
+    out << json;
+    if (!out) return false;
+  }
+  ec.clear();
+  std::filesystem::rename(temp, path, ec);
+  if (ec) {
+    std::filesystem::remove(temp, ec);
+    return false;
+  }
+  return true;
+}
+
+void SearchService::statusz_loop() {
+  write_statusz(service_config_.statusz_path);
+  std::unique_lock lock(statusz_mu_);
+  while (!statusz_stop_) {
+    const auto period = std::chrono::duration<double, std::milli>(
+        service_config_.statusz_period_ms);
+    if (statusz_cv_.wait_for(lock, period, [this] { return statusz_stop_; }))
+      break;
+    lock.unlock();
+    write_statusz(service_config_.statusz_path);
+    lock.lock();
+  }
 }
 
 simt::HazardReport svccheck_snapshot() {
@@ -353,6 +551,24 @@ void SearchService::run_one(Pending& pending) {
   registry.histogram("service.queue_wait_seconds")
       .observe(result.queue_wait_ms * 1e-3);
 
+  // Flight recording starts before the queued-expiry check so even a
+  // request that never runs leaves a (near-empty) dump explaining why.
+  if (flight_recording_)
+    util::FlightRecorder::instance().begin_query(result.service_seq);
+  note_pipeline_stage("dispatch");
+  {
+    std::lock_guard lock(mutex_);
+    in_flight_seq_ = result.service_seq;
+    in_flight_query_length_ = pending.request.query.size();
+  }
+  if (util::log::enabled())
+    util::log::event(
+        "service.dispatch",
+        {util::targ("request_seq", result.service_seq),
+         util::targ("priority",
+                    request_priority_name(pending.request.priority)),
+         util::targ("queue_wait_ms", result.queue_wait_ms)});
+
   // Combine the client's handle with the request deadline. The client's
   // own state is never mutated; with_deadline links a child onto it.
   CancellationToken token = pending.request.cancel;
@@ -390,6 +606,34 @@ void SearchService::run_one(Pending& pending) {
     // "degraded"); everything else gets the service's terminal label so
     // report.to_json() still says what happened.
     if (!counted_completed) result.report.status = report_status_label(status);
+
+    // SLO accounting + tail-based flight retention: the dump decision can
+    // only be made here, after the outcome and wall time are known.
+    const bool slo_miss = service_config_.slo_ms > 0.0 &&
+                          result.wall_ms > service_config_.slo_ms;
+    if (service_config_.slo_ms > 0.0)
+      registry.counter(slo_miss ? "service.slo.violations" : "service.slo.ok")
+          .add(1);
+    bool dumped = false;
+    std::string dump_path;
+    if (flight_recording_) {
+      auto& flight = util::FlightRecorder::instance();
+      flight.end_query();
+      if (status != RequestStatus::kOk || slo_miss) {
+        dump_path = service_config_.flight_dir + "/flight_" +
+                    std::to_string(result.service_seq) + "_" +
+                    request_status_name(status) + ".json";
+        dumped = flight.dump_to_file(
+            dump_path,
+            {util::targ("status", request_status_name(status)),
+             util::targ("wall_ms", result.wall_ms),
+             util::targ("slo_ms", service_config_.slo_ms),
+             util::targ("slo_miss",
+                        static_cast<std::uint64_t>(slo_miss ? 1 : 0))});
+        if (dumped) registry.counter("service.flight.dumps").add(1);
+      }
+    }
+
     {
       std::lock_guard lock(mutex_);
       switch (status) {
@@ -402,6 +646,37 @@ void SearchService::run_one(Pending& pending) {
         default: stats_.failed += 1; break;
       }
       stats_.transient_retries += result.transient_retries;
+      if (service_config_.slo_ms > 0.0) {
+        if (slo_miss)
+          slo_violations_ += 1;
+        else
+          slo_ok_ += 1;
+      }
+      if (dumped) flight_dumps_ += 1;
+      in_flight_seq_ = 0;
+      in_flight_query_length_ = 0;
+      // Cleared here — not just in worker_loop — so a snapshot taken
+      // after the promise resolves never reports a phantom in-flight
+      // request. worker_loop's own clear (after run_one returns) is what
+      // wakes drain via idle_cv_.
+      busy_ = false;
+    }
+    note_pipeline_stage(nullptr);
+    if (util::log::enabled()) {
+      util::log::event(
+          "service.complete",
+          {util::targ("request_seq", result.service_seq),
+           util::targ("status", request_status_name(status)),
+           util::targ("wall_ms", result.wall_ms),
+           util::targ("retries", static_cast<std::uint64_t>(
+                                     result.transient_retries))});
+      if (status == RequestStatus::kDegraded)
+        util::log::event("service.degraded",
+                         {util::targ("request_seq", result.service_seq)});
+      if (dumped)
+        util::log::event("service.flight_dump",
+                         {util::targ("request_seq", result.service_seq),
+                          util::targ("path", dump_path)});
     }
     pending.promise.set_value(std::move(result));
   };

@@ -104,6 +104,35 @@ struct ServiceConfig {
   double backoff_initial_ms = 1.0;
   double backoff_multiplier = 2.0;
   double backoff_max_ms = 64.0;
+
+  // --- simtprof observability (DESIGN.md §16) ----------------------------
+
+  /// Latency objective in milliseconds (0 = none). Requests the worker
+  /// resolves slower than this count as SLO violations (service.slo.*
+  /// burn counters) and — with flight recording on — trigger a dump even
+  /// when they completed ok.
+  double slo_ms = 0.0;
+
+  /// Non-empty: per-query flight recording is on. Queries that finish
+  /// degraded, errored, cancelled, deadline-exceeded, or past `slo_ms`
+  /// dump their bounded event ring here as
+  /// `flight_<seq>_<status>.json`; everything else is discarded
+  /// (tail-based retention).
+  std::string flight_dir;
+
+  /// Per-thread flight ring capacity in events (the memory bound).
+  std::size_t flight_ring_events = 4096;
+
+  /// Non-empty: a background thread rewrites this file with
+  /// status_snapshot().to_json() every `statusz_period_ms` (and once at
+  /// start/drain), giving `watch cat statusz.json` live introspection.
+  std::string statusz_path;
+  double statusz_period_ms = 500.0;
+
+  /// Non-empty: structured JSONL event log (util/log.hpp) of admission,
+  /// dispatch, completion, degradation, flight-dump, and drain events.
+  /// Falls back to the REPRO_EVENT_LOG environment variable when empty.
+  std::string event_log_path;
 };
 
 /// One unit of work for the service.
@@ -178,6 +207,46 @@ struct ServiceStats {
   std::size_t queue_depth = 0;  ///< queued right now (in-flight excluded)
 };
 
+/// Point-in-time introspection snapshot (SearchService::status_snapshot):
+/// everything an operator needs to answer "what is the service doing right
+/// now" — queue shape, the in-flight request and its pipeline stage, SLO
+/// burn, latency quantiles, and the continuous profiler's summary.
+struct ServiceStatus {
+  double uptime_ms = 0.0;
+  bool accepting = false;
+  bool paused = false;
+  bool busy = false;  ///< a request is in flight
+
+  std::array<std::size_t, kNumPriorities> queue_depths{};  ///< per class
+  std::size_t queue_depth = 0;                             ///< total
+
+  ServiceStats stats;  ///< cumulative totals (submit/admit/reject/...)
+
+  /// In-flight request (meaningful when busy): its completion sequence
+  /// number, query length, and the pipeline-stage checkpoint it most
+  /// recently polled ("" before the first checkpoint).
+  std::uint64_t in_flight_seq = 0;
+  std::size_t in_flight_query_length = 0;
+  std::string in_flight_stage;
+
+  /// SLO accounting (ServiceConfig::slo_ms; all zero when no objective).
+  double slo_ms = 0.0;
+  std::uint64_t slo_ok = 0;
+  std::uint64_t slo_violations = 0;
+  std::uint64_t flight_dumps = 0;
+
+  /// Bucket-interpolated latency quantiles of service.request_wall_seconds.
+  double wall_p50_s = 0.0;
+  double wall_p95_s = 0.0;
+  double wall_p99_s = 0.0;
+
+  /// simt::prof::ContinuousProfiler::summary_json() of the owned session.
+  std::string profile_summary_json;
+
+  /// One JSON object (schema "cublastp.statusz.v1").
+  [[nodiscard]] std::string to_json() const;
+};
+
 /// Translates the process-wide svccheck host-concurrency log
 /// (util::svc::SvcHazardLog) into the shared hazard-report schema: lock-
 /// order inversions, blocked-while-locked waits, and checkpoint gaps
@@ -238,6 +307,21 @@ class SearchService {
   [[nodiscard]] ServiceStats stats() const;
   [[nodiscard]] const Config& config() const { return session_.config(); }
 
+  /// Live introspection snapshot; callable from any thread at any time.
+  /// The statusz thread (ServiceConfig::statusz_path) serializes exactly
+  /// this to disk.
+  [[nodiscard]] ServiceStatus status_snapshot() const;
+
+  /// Writes status_snapshot().to_json() to `path` (creating parent
+  /// directories); false on I/O error. The statusz thread calls this
+  /// periodically; tests and tools may call it directly.
+  bool write_statusz(const std::string& path) const;
+
+  /// The owned session's continuous profiler (always collecting).
+  [[nodiscard]] const simt::prof::ContinuousProfiler& profiler() const {
+    return session_.profiler();
+  }
+
   /// Point-in-time hazard aggregate for the whole service: every completed
   /// request's SearchReport::hazards (simtcheck + per-query leakcheck +
   /// checkpoint coverage), the svccheck host-concurrency log, and — only
@@ -256,6 +340,7 @@ class SearchService {
   };
 
   void worker_loop();
+  void statusz_loop();
   /// Pops the highest-priority pending request; null when queues are empty.
   [[nodiscard]] std::unique_ptr<Pending> pop_locked();
   void run_one(Pending& pending);
@@ -281,6 +366,16 @@ class SearchService {
   ServiceStats stats_;             ///< guarded by mutex_
   std::uint64_t next_seq_ = 0;     ///< completion sequence (worker only)
 
+  // Introspection state (guarded by mutex_ unless noted).
+  std::uint64_t start_ns_ = 0;     ///< MonotonicClock at construction
+  std::uint64_t in_flight_seq_ = 0;          ///< 0 = idle
+  std::size_t in_flight_query_length_ = 0;
+  std::uint64_t slo_ok_ = 0;
+  std::uint64_t slo_violations_ = 0;
+  std::uint64_t flight_dumps_ = 0;
+  bool flight_recording_ = false;  ///< set once in the constructor
+  bool event_log_owned_ = false;   ///< this service opened util::log
+
   /// Per-request hazard aggregate (merged by the worker after each
   /// completed request). Its own leaf lock: hazard_report() must not
   /// contend with admission.
@@ -290,6 +385,14 @@ class SearchService {
   std::once_flag drain_flush_once_;  ///< drain() flushes exactly once
   std::unique_ptr<util::TraceSession> trace_session_;
   std::thread worker_;
+
+  // statusz dump thread (only started when ServiceConfig::statusz_path is
+  // set). Its own plain mutex/cv pair: the thread must wake promptly for
+  // teardown without contending with the queue lock.
+  std::mutex statusz_mu_;
+  std::condition_variable statusz_cv_;
+  bool statusz_stop_ = false;
+  std::thread statusz_thread_;
 };
 
 }  // namespace repro::core

@@ -1,0 +1,95 @@
+// simtprof: the always-on continuous profiler (DESIGN.md §16).
+//
+// The paper's methodology is profile-first: Figure 19's per-kernel hotspot
+// table (load efficiency, divergence, occupancy, bank conflicts) is what
+// justified the fine-grained decomposition. This module turns that one-off
+// analysis into a standing service facility: every search's per-kernel
+// ProfileRegistry delta is folded into a process-lifetime aggregate, grouped
+// into pipeline *phases*, and exported as versioned JSON
+// (`cublastp.profile.v1`) plus a Fig. 19-style table.
+//
+// Cost contract: collection reuses the KernelStats the engine already
+// measures — recording one search is a mutex acquisition and a map merge
+// per kernel, far off the lane-level hot path. Emission allocates; callers
+// emit at search/batch/drain boundaries only.
+//
+// Determinism: every aggregated quantity derives from KernelStats counters
+// and the cost model, none from the wall clock, so the JSON's "modeled"
+// section is bit-stable across runs and under VirtualClockScope; host wall
+// time is carried separately and clearly marked measured.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "simt/device.hpp"
+#include "simt/metrics.hpp"
+
+namespace repro::simt::prof {
+
+/// Maps a kernel / transfer label to its pipeline phase. Unknown names land
+/// in "other" rather than being dropped, so the per-phase modeled-ms totals
+/// sum *exactly* to ProfileRegistry::total_time_ms() — the reconciliation
+/// invariant the acceptance tests pin.
+[[nodiscard]] const char* phase_for_kernel(const std::string& kernel_name);
+
+/// Aggregated view of one phase at emission time.
+struct PhaseProfile {
+  std::string phase;
+  KernelStats stats;            ///< merged counters across kernels
+  double modeled_cycles = 0.0;  ///< stats.time_ms on the modeled device
+  double share = 0.0;           ///< fraction of total modeled time
+  std::vector<std::string> kernel_names;
+};
+
+/// Process-lifetime per-kernel aggregate with phase grouping. One instance
+/// lives in each SearchSession; SearchService reads it for /statusz.
+/// Thread-safe: record() and the emitters may race (worker thread vs. the
+/// statusz dump thread).
+class ContinuousProfiler {
+ public:
+  /// Device used to convert modeled milliseconds to modeled cycles.
+  void set_device(const DeviceSpec& spec);
+
+  /// Folds one search's ProfileRegistry delta (and its measured host wall
+  /// time) into the aggregate.
+  void record_search(const ProfileRegistry& delta, double wall_ms);
+
+  [[nodiscard]] std::uint64_t searches() const;
+  [[nodiscard]] double total_modeled_ms() const;
+
+  /// Phase-grouped snapshot, ordered by descending modeled time.
+  [[nodiscard]] std::vector<PhaseProfile> phases() const;
+
+  /// Full export, schema "cublastp.profile.v1".
+  [[nodiscard]] std::string to_json() const;
+
+  /// Fig. 19-style hotspot table (phases + per-kernel rows).
+  [[nodiscard]] std::string to_table() const;
+
+  /// One-object summary for embedding in service status snapshots:
+  /// searches, totals, and the hottest phase.
+  [[nodiscard]] std::string summary_json() const;
+
+  /// Writes to_json() to `path` (creating parent directories). The path
+  /// must end in ".json" — like util::metrics::Registry::write_file, an
+  /// unrecognized extension throws std::invalid_argument rather than
+  /// guessing a format. Returns false on I/O error.
+  bool write_file(const std::string& path) const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] std::vector<PhaseProfile> phases_locked() const;
+
+  mutable std::mutex mutex_;
+  std::map<std::string, KernelStats> kernels_;
+  std::uint64_t searches_ = 0;
+  double wall_ms_total_ = 0.0;
+  DeviceSpec spec_;
+};
+
+}  // namespace repro::simt::prof

@@ -1,0 +1,198 @@
+#include "util/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace repro::util {
+
+namespace {
+
+/// Per-thread cache of (generation, ring) so steady-state record() takes no
+/// lock — the same scheme Tracer uses for its session buffers.
+struct FlightTls {
+  std::uint64_t gen = 0;
+  void* ring = nullptr;  // FlightRecorder::Ring*, type-erased for the TLS
+};
+
+FlightTls& flight_tls() {
+  thread_local FlightTls state;
+  return state;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::instance() {
+  static FlightRecorder recorder;
+  return recorder;
+}
+
+void FlightRecorder::configure(std::size_t max_events_per_thread) {
+  std::lock_guard lock(mutex_);
+  capacity_ = max_events_per_thread == 0 ? 1 : max_events_per_thread;
+}
+
+void FlightRecorder::begin_query(std::uint64_t query_id) {
+  std::lock_guard lock(mutex_);
+  rings_.clear();
+  query_id_ = query_id;
+  base_ns_ = MonotonicClock::now_ns();
+  gen_.fetch_add(1, std::memory_order_relaxed);
+  active_.store(true, std::memory_order_relaxed);
+  trace_internal::flight_active.store(true, std::memory_order_relaxed);
+  trace_internal::refresh_enabled();
+}
+
+void FlightRecorder::end_query() {
+  std::lock_guard lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  trace_internal::flight_active.store(false, std::memory_order_relaxed);
+  trace_internal::refresh_enabled();
+}
+
+std::uint64_t FlightRecorder::query_id() const {
+  std::lock_guard lock(mutex_);
+  return query_id_;
+}
+
+FlightRecorder::Ring* FlightRecorder::ring_for_this_thread() {
+  FlightTls& state = flight_tls();
+  std::lock_guard lock(mutex_);
+  if (!active_.load(std::memory_order_relaxed)) return nullptr;
+  const std::uint64_t gen = gen_.load(std::memory_order_relaxed);
+  if (state.gen == gen && state.ring != nullptr)
+    return static_cast<Ring*>(state.ring);
+  auto ring = std::make_unique<Ring>();
+  ring->tid = static_cast<std::uint32_t>(rings_.size() + 1);
+  ring->name = trace_internal::current_thread_track_name();
+  ring->capacity = capacity_;
+  ring->events.reserve(std::min<std::size_t>(capacity_, 256));
+  state.gen = gen;
+  state.ring = ring.get();
+  rings_.push_back(std::move(ring));
+  return static_cast<Ring*>(state.ring);
+}
+
+void FlightRecorder::record(const TraceEvent& event) {
+  FlightTls& state = flight_tls();
+  Ring* ring =
+      state.gen == gen_.load(std::memory_order_relaxed) &&
+              state.ring != nullptr
+          ? static_cast<Ring*>(state.ring)
+          : ring_for_this_thread();
+  if (ring == nullptr) return;
+  if (ring->events.size() < ring->capacity) {
+    ring->events.push_back(event);
+  } else {
+    // Ring is full: overwrite the oldest slot, keeping the tail — for a
+    // slow query the events *near the end* are the ones that explain it.
+    ring->events[ring->pushed % ring->capacity] = event;
+  }
+  ++ring->pushed;
+}
+
+std::string FlightRecorder::dump_json(
+    std::initializer_list<TraceArg> annotations) const {
+  std::lock_guard lock(mutex_);
+  std::string out;
+  out.reserve(1 << 14);
+  out += "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"query_id\":";
+  out += std::to_string(query_id_);
+  std::size_t retained = 0;
+  std::uint64_t evicted = 0;
+  for (const auto& ring : rings_) {
+    retained += ring->events.size();
+    if (ring->pushed > ring->events.size())
+      evicted += ring->pushed - ring->events.size();
+  }
+  out += ",\"events_retained\":";
+  out += std::to_string(retained);
+  out += ",\"events_dropped\":";
+  out += std::to_string(evicted);
+  for (const TraceArg& a : annotations) {
+    out += ',';
+    out += json_str(a.key);
+    out += ':';
+    out += a.number ? a.value : json_str(a.value);
+  }
+  out += "},\"traceEvents\":[\n";
+  bool first = true;
+  const auto emit = [&out, &first](const std::string& line) {
+    if (!first) out += ",\n";
+    first = false;
+    out += line;
+  };
+  std::string line;
+  for (const auto& ring : rings_) {
+    line.clear();
+    const std::string name =
+        ring->name.empty()
+            ? (ring->tid == 1 ? "main"
+                              : "thread-" + std::to_string(ring->tid))
+            : ring->name;
+    trace_internal::append_thread_name_json(line, 1, ring->tid, name);
+    emit(line);
+    // Oldest-to-newest: when the ring wrapped, the logical head sits at
+    // pushed % capacity.
+    const std::size_t n = ring->events.size();
+    const std::size_t head =
+        ring->pushed > n ? ring->pushed % ring->capacity : 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const TraceEvent& e = ring->events[(head + i) % n];
+      line.clear();
+      trace_internal::append_event_json(line, e, 1, ring->tid, base_ns_);
+      emit(line);
+    }
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+bool FlightRecorder::dump_to_file(
+    const std::string& path,
+    std::initializer_list<TraceArg> annotations) const {
+  const std::string json = dump_json(annotations);
+  const std::filesystem::path p(path);
+  std::error_code dir_error;
+  if (p.has_parent_path())
+    std::filesystem::create_directories(p.parent_path(), dir_error);
+  std::ofstream out(p);
+  if (dir_error || !out) {
+    std::fprintf(stderr, "flight: cannot write %s\n", path.c_str());
+    return false;
+  }
+  out << json;
+  return static_cast<bool>(out);
+}
+
+std::size_t FlightRecorder::event_count() const {
+  std::lock_guard lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& ring : rings_) total += ring->events.size();
+  return total;
+}
+
+std::uint64_t FlightRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& ring : rings_)
+    if (ring->pushed > ring->events.size())
+      total += ring->pushed - ring->events.size();
+  return total;
+}
+
+void FlightRecorder::reset() {
+  std::lock_guard lock(mutex_);
+  active_.store(false, std::memory_order_relaxed);
+  trace_internal::flight_active.store(false, std::memory_order_relaxed);
+  trace_internal::refresh_enabled();
+  rings_.clear();
+  gen_.fetch_add(1, std::memory_order_relaxed);
+  query_id_ = 0;
+}
+
+}  // namespace repro::util

@@ -1,0 +1,107 @@
+// Per-query flight recorder: a bounded in-memory ring of trace events for
+// the query currently in flight (DESIGN.md §16).
+//
+// Tail-based retention inverts the tracing cost model: util::trace records
+// everything while a session is active and always writes one file;
+// production services cannot afford that for every request, but the
+// queries worth debugging — the ones that finish degraded, errored,
+// cancelled, or past the latency objective — are only identifiable *after*
+// they finish. So the recorder keeps the most recent `capacity` events per
+// thread in a ring while a query runs, and the owner (SearchService)
+// decides at completion whether to dump or discard them.
+//
+// Plumbing: the recorder taps the existing util::trace instrumentation
+// sites. While a query is being recorded, trace_enabled() reads true (so
+// spans/instants are built) and Tracer::record() forwards a copy of every
+// event here, whether or not a trace session is also active. Disabled cost
+// is unchanged: the same single relaxed load per site.
+//
+// Threading: record() appends to a TLS ring (registration takes the mutex
+// once per thread per query). begin_query()/end_query()/dump are owner-side
+// operations: the owner runs queries one at a time and joins all worker
+// threads before ending a query, the same contract Tracer::stop_*() has.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <initializer_list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "util/trace.hpp"
+
+namespace repro::util {
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& instance();
+
+  /// Per-thread ring capacity (events). Applies from the next
+  /// begin_query(); the bound is what keeps a pathological query from
+  /// growing memory without limit.
+  void configure(std::size_t max_events_per_thread);
+
+  /// Starts recording a query: clears prior rings and turns the shared
+  /// trace gate on. Queries are recorded one at a time.
+  void begin_query(std::uint64_t query_id);
+
+  /// Stops recording (the rings keep the captured events until the next
+  /// begin_query or reset, so the owner can still dump them).
+  void end_query();
+
+  [[nodiscard]] bool active() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t query_id() const;
+
+  /// Appends to the calling thread's ring, evicting the oldest event when
+  /// full. Called by Tracer::record() while a query is being recorded.
+  void record(const TraceEvent& event);
+
+  /// Chrome-trace JSON of the captured rings (oldest to newest per
+  /// thread), annotated with query id, retained/dropped counts, and any
+  /// caller-provided fields under "otherData".
+  [[nodiscard]] std::string dump_json(
+      std::initializer_list<TraceArg> annotations = {}) const;
+
+  /// dump_json() to `path`, creating parent directories. False on I/O
+  /// error.
+  bool dump_to_file(const std::string& path,
+                    std::initializer_list<TraceArg> annotations = {}) const;
+
+  /// Events currently retained across all rings.
+  [[nodiscard]] std::size_t event_count() const;
+
+  /// Events evicted from full rings since begin_query.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Drops all rings and stops recording.
+  void reset();
+
+ private:
+  FlightRecorder() = default;
+
+  struct Ring {
+    std::uint32_t tid = 0;
+    std::string name;
+    std::size_t capacity = 0;
+    std::uint64_t pushed = 0;  ///< total events offered this query
+    std::vector<TraceEvent> events;
+  };
+
+  Ring* ring_for_this_thread();
+
+  mutable std::mutex mutex_;
+  std::vector<std::unique_ptr<Ring>> rings_;
+  std::size_t capacity_ = 4096;
+  std::uint64_t query_id_ = 0;
+  std::uint64_t base_ns_ = 0;
+  /// Bumped by begin_query so stale TLS ring pointers are re-registered,
+  /// mirroring Tracer::session_gen_.
+  std::atomic<std::uint64_t> gen_{0};
+  std::atomic<bool> active_{false};
+};
+
+}  // namespace repro::util

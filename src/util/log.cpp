@@ -1,0 +1,89 @@
+#include "util/log.hpp"
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+
+#include "util/json.hpp"
+#include "util/timer.hpp"
+
+namespace repro::util::log {
+
+namespace {
+
+struct LogState {
+  std::mutex mutex;
+  std::ofstream out;
+  std::uint64_t seq = 0;
+  std::atomic<bool> enabled{false};
+};
+
+LogState& state() {
+  static LogState s;
+  return s;
+}
+
+}  // namespace
+
+void open(const std::string& path) {
+  LogState& s = state();
+  std::lock_guard lock(s.mutex);
+  if (s.out.is_open()) s.out.close();
+  s.enabled.store(false, std::memory_order_relaxed);
+  if (path.empty()) return;
+  const std::filesystem::path p(path);
+  std::error_code dir_error;
+  if (p.has_parent_path())
+    std::filesystem::create_directories(p.parent_path(), dir_error);
+  s.out.open(p, std::ios::app);
+  if (dir_error || !s.out) {
+    std::fprintf(stderr, "log: cannot open %s\n", path.c_str());
+    s.out = std::ofstream();
+    return;
+  }
+  s.enabled.store(true, std::memory_order_relaxed);
+}
+
+void close() {
+  LogState& s = state();
+  std::lock_guard lock(s.mutex);
+  s.enabled.store(false, std::memory_order_relaxed);
+  if (s.out.is_open()) {
+    s.out.flush();
+    s.out.close();
+  }
+}
+
+bool enabled() {
+  return state().enabled.load(std::memory_order_relaxed);
+}
+
+void event(std::string_view name, std::initializer_list<TraceArg> fields) {
+  LogState& s = state();
+  if (!s.enabled.load(std::memory_order_relaxed)) [[likely]]
+    return;
+  // Build the suffix outside the lock; the mutex only serializes the
+  // sequence number and the append.
+  std::string tail;
+  tail.reserve(128);
+  tail += ",\"ts_ns\":";
+  tail += std::to_string(MonotonicClock::now_ns());
+  tail += ",\"event\":";
+  tail += json_str(name);
+  for (const TraceArg& a : fields) {
+    tail += ',';
+    tail += json_str(a.key);
+    tail += ':';
+    tail += a.number ? a.value : json_str(a.value);
+  }
+  tail += "}\n";
+  std::lock_guard lock(s.mutex);
+  if (!s.out.is_open()) return;
+  s.out << "{\"seq\":" << s.seq++ << tail;
+  s.out.flush();
+}
+
+}  // namespace repro::util::log

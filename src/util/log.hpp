@@ -1,0 +1,43 @@
+// Structured JSONL event log (DESIGN.md §16).
+//
+// One JSON object per line, append-only, machine-greppable: the service
+// emits admission, dispatch, completion, degradation, and drain events here
+// so an operator can reconstruct what the service did without replaying a
+// trace. Complements the other observability surfaces: metrics aggregate,
+// traces sample one run, statusz shows "now" — the event log is the
+// durable sequence of discrete decisions.
+//
+// Cost contract: one relaxed atomic load per call site when disabled (the
+// same contract as util::trace). Enabled emission takes a mutex and writes
+// one line; callers log per-request decisions, not per-lane work.
+//
+// Timestamps come from util::MonotonicClock, so a VirtualClockScope makes
+// the `ts_ns` column deterministic too; `seq` is a process-lifetime line
+// counter that orders events even across reopen.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <string_view>
+
+#include "util/trace.hpp"
+
+namespace repro::util::log {
+
+/// Opens (appending to) the JSONL log at `path` and enables emission.
+/// An empty path — or a failed open — disables. Reopening to a new path
+/// closes the previous one.
+void open(const std::string& path);
+
+/// Flushes and disables.
+void close();
+
+[[nodiscard]] bool enabled();
+
+/// Emits one line: {"seq":N,"ts_ns":T,"event":"<name>", <fields>...}.
+/// No-op (one relaxed load) when disabled. Reuses TraceArg/targ so call
+/// sites share the trace annotation vocabulary.
+void event(std::string_view name,
+           std::initializer_list<TraceArg> fields = {});
+
+}  // namespace repro::util::log

@@ -1,10 +1,13 @@
 #include "util/metrics.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <stdexcept>
+#include <utility>
 
 #include "util/json.hpp"
 
@@ -29,6 +32,36 @@ Instrument& get_or_create(std::mutex& mutex, Map& map,
 }
 
 }  // namespace
+
+double Histogram::quantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the counts once: observe() may race with us, and a consistent
+  // (if slightly stale) snapshot keeps rank arithmetic coherent.
+  std::array<std::uint64_t, kBuckets + 1> counts;
+  std::uint64_t total = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    counts[static_cast<std::size_t>(i)] = bucket_count(i);
+    total += counts[static_cast<std::size_t>(i)];
+  }
+  if (total == 0) return 0.0;
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (int i = 0; i <= kBuckets; ++i) {
+    const std::uint64_t n = counts[static_cast<std::size_t>(i)];
+    if (n == 0) continue;
+    cumulative += n;
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (i == kBuckets) return upper_bound(kBuckets - 1);
+    const double hi = upper_bound(i);
+    const double lo = i == 0 ? 0.0 : upper_bound(i - 1);
+    // Fraction of this bucket's mass below the target rank.
+    const double into =
+        (rank - static_cast<double>(cumulative - n)) / static_cast<double>(n);
+    return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+  }
+  return upper_bound(kBuckets - 1);
+}
 
 Counter& Registry::counter(std::string_view name) {
   return get_or_create<decltype(counters_), Counter>(mutex_, counters_, name);
@@ -78,7 +111,9 @@ std::string Registry::to_json() const {
                                       : json_num(Histogram::upper_bound(i));
       out += ", \"count\": " + std::to_string(n) + "}";
     }
-    out += "]}";
+    out += "], \"quantiles\": {\"p50\": " + json_num(h->quantile(0.50)) +
+           ", \"p95\": " + json_num(h->quantile(0.95)) +
+           ", \"p99\": " + json_num(h->quantile(0.99)) + "}}";
   }
   out += "\n  }\n}\n";
   return out;
@@ -127,12 +162,31 @@ std::string Registry::to_prometheus() const {
     }
     out << pname << "_sum " << json_num(h->sum()) << "\n"
         << pname << "_count " << h->count() << "\n";
+    // Bucket-interpolated quantile estimates. A separate gauge family:
+    // mixing quantile-labeled series into the histogram family itself
+    // would violate the exposition format.
+    out << "# TYPE " << pname << "_approx_quantile gauge\n";
+    for (const auto& [label, q] :
+         {std::pair<const char*, double>{"0.5", 0.50},
+          {"0.95", 0.95},
+          {"0.99", 0.99}}) {
+      out << pname << "_approx_quantile{quantile=\"" << label << "\"} "
+          << json_num(h->quantile(q)) << "\n";
+    }
   }
   return out.str();
 }
 
 bool Registry::write_file(const std::string& path) const {
   const std::filesystem::path p(path);
+  const std::string ext = p.extension().string();
+  const bool prometheus = ext == ".prom" || ext == ".txt";
+  // Fail loudly on an unrecognized extension: silently "defaulting to
+  // JSON" meant a typo'd --metrics path fed Prometheus scrapers JSON.
+  if (!prometheus && ext != ".json")
+    throw std::invalid_argument(
+        "metrics: unrecognized extension '" + ext + "' for '" + path +
+        "' (expected .json, .prom, or .txt)");
   std::error_code dir_error;
   if (p.has_parent_path())
     std::filesystem::create_directories(p.parent_path(), dir_error);
@@ -141,8 +195,7 @@ bool Registry::write_file(const std::string& path) const {
     std::fprintf(stderr, "metrics: cannot write %s\n", path.c_str());
     return false;
   }
-  const std::string ext = p.extension().string();
-  out << (ext == ".prom" || ext == ".txt" ? to_prometheus() : to_json());
+  out << (prometheus ? to_prometheus() : to_json());
   return static_cast<bool>(out);
 }
 

@@ -88,6 +88,13 @@ class Histogram {
   [[nodiscard]] double sum() const {
     return sum_.load(std::memory_order_relaxed);
   }
+
+  /// Estimated q-quantile (q in [0,1]) by linear interpolation inside the
+  /// exponential bucket that crosses rank q*count. Returns 0 when empty.
+  /// Observations in the +Inf bucket pin the estimate to the largest
+  /// finite bound — the estimator never invents mass beyond what the
+  /// buckets resolve.
+  [[nodiscard]] double quantile(double q) const;
   void reset() {
     for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
     sum_.store(0.0, std::memory_order_relaxed);
@@ -115,8 +122,11 @@ class Registry {
   /// cumulative "le" buckets, +Inf, _sum/_count).
   [[nodiscard]] std::string to_prometheus() const;
 
-  /// Writes to `path`: ".prom"/".txt" pick the Prometheus format, anything
-  /// else JSON. Returns false on I/O error.
+  /// Writes to `path`: ".prom"/".txt" pick the Prometheus format, ".json"
+  /// the JSON one. Any other extension throws std::invalid_argument — a
+  /// typo'd path must not silently export the wrong format (the core layer
+  /// translates the throw into SearchError{kInvalidArgument}). Returns
+  /// false on I/O error.
   bool write_file(const std::string& path) const;
 
   /// Zeroes every instrument (names and identities persist). For tests and

@@ -6,12 +6,21 @@
 #include <fstream>
 #include <utility>
 
+#include "util/flight_recorder.hpp"
 #include "util/json.hpp"
 
 namespace repro::util {
 
 namespace trace_internal {
 std::atomic<bool> enabled{false};
+std::atomic<bool> session_active{false};
+std::atomic<bool> flight_active{false};
+
+void refresh_enabled() {
+  enabled.store(session_active.load(std::memory_order_relaxed) ||
+                    flight_active.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
+}
 }  // namespace trace_internal
 
 namespace {
@@ -100,6 +109,22 @@ void append_metadata(std::string& out, const char* what, int pid,
 
 }  // namespace
 
+namespace trace_internal {
+
+void append_event_json(std::string& out, const TraceEvent& e, int pid,
+                       std::uint32_t tid, std::uint64_t base_ns) {
+  append_event(out, e, pid, tid, base_ns);
+}
+
+void append_thread_name_json(std::string& out, int pid, std::uint32_t tid,
+                             const std::string& name) {
+  append_metadata(out, "thread_name", pid, tid, true, name);
+}
+
+std::string current_thread_track_name() { return tls().track_name; }
+
+}  // namespace trace_internal
+
 TraceArg targ(std::string_view key, std::string_view value) {
   return TraceArg{std::string(key), std::string(value), false};
 }
@@ -123,19 +148,22 @@ Tracer& Tracer::instance() {
 
 bool Tracer::start() {
   std::lock_guard lock(mutex_);
-  if (trace_enabled()) return false;
+  if (trace_internal::session_active.load(std::memory_order_relaxed))
+    return false;
   buffers_.clear();
   modeled_.clear();
   session_gen_.fetch_add(1, std::memory_order_relaxed);
   base_ns_ = MonotonicClock::now_ns();
-  trace_internal::enabled.store(true, std::memory_order_relaxed);
+  trace_internal::session_active.store(true, std::memory_order_relaxed);
+  trace_internal::refresh_enabled();
   return true;
 }
 
 Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
   ThreadTraceState& state = tls();
   std::lock_guard lock(mutex_);
-  if (!trace_enabled()) return nullptr;
+  if (!trace_internal::session_active.load(std::memory_order_relaxed))
+    return nullptr;
   const std::uint64_t gen = session_gen_.load(std::memory_order_relaxed);
   if (state.gen == gen && state.buffer != nullptr)
     return static_cast<ThreadBuffer*>(state.buffer);
@@ -150,6 +178,12 @@ Tracer::ThreadBuffer* Tracer::buffer_for_this_thread() {
 
 void Tracer::record(TraceEvent event) {
   if (!trace_enabled()) return;
+  // Tee to the flight recorder first: it may be the only consumer (no
+  // session), and when both are active each keeps its own copy.
+  if (trace_internal::flight_active.load(std::memory_order_relaxed))
+    FlightRecorder::instance().record(event);
+  if (!trace_internal::session_active.load(std::memory_order_relaxed))
+    return;
   ThreadTraceState& state = tls();
   ThreadBuffer* buffer =
       state.gen == session_gen_.load(std::memory_order_relaxed) &&
@@ -160,7 +194,10 @@ void Tracer::record(TraceEvent event) {
 }
 
 void Tracer::record_modeled(std::string_view track, TraceEvent event) {
-  if (!trace_enabled()) return;
+  // Modeled tracks reconstruct one search's schedule for a written trace;
+  // the flight recorder has no use for them.
+  if (!trace_internal::session_active.load(std::memory_order_relaxed))
+    return;
   std::lock_guard lock(mutex_);
   for (auto& [name, events] : modeled_)
     if (name == track) {
@@ -243,7 +280,8 @@ std::string Tracer::serialize_locked() {
 
 std::string Tracer::stop_json() {
   std::lock_guard lock(mutex_);
-  trace_internal::enabled.store(false, std::memory_order_relaxed);
+  trace_internal::session_active.store(false, std::memory_order_relaxed);
+  trace_internal::refresh_enabled();
   std::string json = serialize_locked();
   buffers_.clear();
   modeled_.clear();

@@ -37,8 +37,31 @@
 
 namespace repro::util {
 
+struct TraceEvent;
+
 namespace trace_internal {
-extern std::atomic<bool> enabled;  ///< mirrors the Tracer session state
+/// OR of the two event consumers: a Tracer session and/or an active
+/// FlightRecorder query. Instrumentation sites only check this combined
+/// flag, so adding the flight recorder kept the disabled cost at one
+/// relaxed load.
+extern std::atomic<bool> enabled;
+extern std::atomic<bool> session_active;
+extern std::atomic<bool> flight_active;
+
+/// Recomputes `enabled` from the two consumer bits. Callers flip their bit
+/// first, then refresh.
+void refresh_enabled();
+
+/// Serializers shared with the flight recorder so both writers emit the
+/// same Chrome-trace dialect (trace.cpp owns the format).
+void append_event_json(std::string& out, const TraceEvent& e, int pid,
+                       std::uint32_t tid, std::uint64_t base_ns);
+void append_thread_name_json(std::string& out, int pid, std::uint32_t tid,
+                             const std::string& name);
+
+/// The calling thread's sticky track name (set via Tracer::set_thread_name),
+/// empty if unnamed.
+std::string current_thread_track_name();
 }  // namespace trace_internal
 
 /// The hot-path toggle every instrumented site checks first. Disabled
