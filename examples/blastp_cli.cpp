@@ -17,10 +17,18 @@
 // value voids the losslessness guarantee).
 //
 // Batch mode: --batch=queries.fasta (instead of --query) answers every
-// query through one core::SearchSession::search_batch — the database is
-// uploaded once and query q+1's GPU phases overlap query q's CPU stage.
-// --report-json then writes ONE cublastp.batch_report.v3 document instead
+// query through one core::ShardedSession::search_batch — the database is
+// uploaded once and each query is scattered across the --shards=K fleet.
+// --report-json then writes ONE cublastp.batch_report.v4 document instead
 // of an array of per-query reports.
+//
+// Sharding: --shards=K partitions the database blocks across a modeled
+// K-GPU scatter–gather fleet (DESIGN.md §17). Results are bit-identical
+// at every K; K=1 (the default) is the classic single-engine layout.
+//
+// All-vs-all mode: --all-vs-all (with --db, no query file) searches every
+// database sequence as a query against the whole database through one
+// batch; --all-vs-all-limit=N caps it to the first N sequences.
 //
 // Service mode: --serve --batch=queries.fasta answers the query list
 // through a core::SearchService (DESIGN.md §14) — a bounded admission
@@ -56,7 +64,7 @@
 // anything else is an error); --profile=out.json writes the continuous
 // profiler's cumulative per-phase document (schema cublastp.profile.v1);
 // --report prints the per-query phase/counter tables; --report-json writes
-// the structured run report(s) (schema cublastp.search_report.v3).
+// the structured run report(s) (schema cublastp.search_report.v4).
 //
 // Try it end to end with the synthetic generator:
 //   ./database_tools generate --out=db.fasta --seqs=1000 --plant_query_len=517
@@ -81,6 +89,7 @@
 #include "core/cublastp.hpp"
 #include "core/search_session.hpp"
 #include "core/service.hpp"
+#include "core/sharded_session.hpp"
 #include "util/metrics.hpp"
 #include "util/options.hpp"
 #include "util/table.hpp"
@@ -296,13 +305,16 @@ int run_serve(const util::Options& options, const core::Config& config,
 int run(int argc, char** argv) {
   util::Options options(argc, argv);
   const bool batch_mode = options.has("batch");
-  if ((!options.has("query") && !batch_mode) || !options.has("db")) {
+  const bool all_vs_all = options.has("all-vs-all");
+  if ((!options.has("query") && !batch_mode && !all_vs_all) ||
+      !options.has("db")) {
     std::fprintf(stderr,
-                 "usage: blastp_cli (--query=FASTA | --batch=FASTA) "
+                 "usage: blastp_cli (--query=FASTA | --batch=FASTA | "
+                 "--all-vs-all [--all-vs-all-limit=N]) "
                  "--db=FASTA "
                  "[--evalue=E] [--engine=cublastp|fsa|ncbi] "
                  "[--strategy=window|diagonal|hit] [--threads=T] "
-                 "[--engine_workers=W] "
+                 "[--engine_workers=W] [--shards=K] "
                  "[--prefilter=off|on|auto] [--prefilter-threshold=N] "
                  "[--max_alignments=N] [--lenient] [--simtcheck] "
                  "[--svccheck] "
@@ -320,7 +332,9 @@ int run(int argc, char** argv) {
   const bool lenient = options.has("lenient");
   const std::string query_path =
       batch_mode ? options.get("batch", "") : options.get("query", "");
-  const auto queries = examples::load_fasta(query_path, lenient, "blastp_cli");
+  std::vector<bio::Sequence> queries;
+  if (!all_vs_all)
+    queries = examples::load_fasta(query_path, lenient, "blastp_cli");
   const auto db = examples::load_database(options.get("db", ""), lenient,
                                           "blastp_cli");
   std::printf("Database: %zu sequences; %llu total letters\n\n", db.size(),
@@ -331,10 +345,10 @@ int run(int argc, char** argv) {
   const std::string engine_name = options.get("engine", "cublastp");
   const auto max_alignments =
       static_cast<std::size_t>(options.get_int("max_alignments", 5));
-  if (batch_mode && engine_name != "cublastp") {
+  if ((batch_mode || all_vs_all) && engine_name != "cublastp") {
     std::fprintf(stderr,
-                 "blastp_cli: --batch requires --engine=cublastp (the "
-                 "baseline engines have no batch mode)\n");
+                 "blastp_cli: --batch/--all-vs-all require --engine=cublastp "
+                 "(the baseline engines have no batch mode)\n");
     return 2;
   }
 
@@ -368,15 +382,25 @@ int run(int argc, char** argv) {
   bool hazards_found = false;
   bool deadline_missed = false;
 
-  if (batch_mode) {
-    // One session, one batch: the database uploads once, and each query's
-    // CPU stage overlaps the next query's GPU phases.
-    std::vector<std::span<const std::uint8_t>> spans;
-    spans.reserve(queries.size());
-    for (const auto& query : queries) spans.emplace_back(query.residues);
-
-    core::SearchSession session(config, db);
-    const core::BatchReport batch = session.search_batch(spans);
+  if (batch_mode || all_vs_all) {
+    // One fleet session, one batch: each shard's database slice uploads
+    // once and every query is scattered across the --shards=K fleet
+    // (K=1 = the classic single-engine session).
+    core::ShardedSession session(config, db);
+    core::BatchReport batch;
+    if (all_vs_all) {
+      const auto limit = static_cast<std::size_t>(
+          std::max<std::int64_t>(0, options.get_int("all-vs-all-limit", 0)));
+      batch = session.search_all_vs_all(limit);
+      queries.reserve(batch.reports.size());
+      for (std::size_t i = 0; i < batch.reports.size(); ++i)
+        queries.push_back(db.sequence(i));
+    } else {
+      std::vector<std::span<const std::uint8_t>> spans;
+      spans.reserve(queries.size());
+      for (const auto& query : queries) spans.emplace_back(query.residues);
+      batch = session.search_batch(spans);
+    }
 
     for (std::size_t qi = 0; qi < queries.size(); ++qi) {
       const auto& report = batch.reports[qi];
@@ -389,10 +413,11 @@ int run(int argc, char** argv) {
                          batch.per_query_wall_seconds[qi], max_alignments);
     }
     std::printf(
-        "Batch: %zu queries in %.3f s (%.1f queries/s); database uploaded "
+        "Batch: %zu queries across %zu shard(s) in %.3f s (%.1f queries/s); "
+        "database uploaded "
         "once (%llu of %llu bytes; %.0f amortized bytes/query); modeled "
         "pipeline %.2f ms batched vs %.2f ms sequential (%.2fx)\n",
-        batch.reports.size(), batch.batch_wall_seconds,
+        batch.reports.size(), batch.shards, batch.batch_wall_seconds,
         batch.queries_per_second(),
         static_cast<unsigned long long>(batch.h2d_block_bytes),
         static_cast<unsigned long long>(batch.db_device_bytes),
@@ -410,12 +435,13 @@ int run(int argc, char** argv) {
     std::optional<core::SearchService> service;
     if (engine_name == "cublastp" && deadline_ms > 0.0)
       service.emplace(config, db);
-    // With --profile (and no service), queries go through one resident
-    // SearchSession so the continuous profiler accumulates across the run
-    // and exports after every query (CuBlastp one-shots have no profiler).
-    std::optional<core::SearchSession> session;
+    // With --profile or --shards>1 (and no service), queries go through
+    // one resident ShardedSession (K=1 behaves exactly like the old
+    // SearchSession) so the continuous profiler accumulates across the run
+    // and sharded queries scatter across the fleet.
+    std::optional<core::ShardedSession> session;
     if (engine_name == "cublastp" && !service.has_value() &&
-        !config.profile_path.empty())
+        (!config.profile_path.empty() || config.shards > 1))
       session.emplace(config, db);
     for (const auto& query : queries) {
       std::printf("Query= %s (%zu letters)\n\n", query.id.c_str(),

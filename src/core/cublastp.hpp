@@ -16,6 +16,25 @@
 
 namespace repro::core {
 
+/// One engine shard's contribution to a query (schema v4 "shards" section;
+/// DESIGN.md §17): which contiguous database-block slice it owned, which
+/// backend served each of its blocks, how far down the degradation ladder
+/// it went, and the modeled device milliseconds it ran. A single-engine
+/// SearchSession reports exactly one summary (shard 0, every block), so
+/// the section shape is identical at every fleet size.
+struct ShardSummary {
+  std::uint32_t shard = 0;        ///< fleet index
+  std::uint32_t first_block = 0;  ///< global index of its first block
+  std::uint32_t num_blocks = 0;   ///< contiguous blocks it owns
+  std::vector<BlockBackend> backends;  ///< per owned block, in block order
+  std::uint64_t retry_attempts = 0;    ///< failed ladder rungs, summed
+  std::uint64_t degraded_blocks = 0;   ///< blocks its CPU fallback served
+  std::uint64_t cache_off_retries = 0;
+  std::uint64_t bin_overflow_retries = 0;
+  std::uint64_t prefilter_degraded_blocks = 0;
+  double kernel_ms = 0.0;  ///< modeled device ms this shard executed
+};
+
 /// Everything a cuBLASTP search reports: the BLAST result (identical to
 /// FSA-BLAST's, paper §4.3), modeled GPU kernel times, measured/makespan
 /// CPU times, transfer times, and the per-kernel profile (Fig. 19 inputs).
@@ -80,6 +99,11 @@ struct SearchReport {
   std::vector<BlockBackend> block_backends;  ///< per block: who served it
   std::uint64_t prefilter_degraded_blocks = 0;  ///< filter failed, ran unfiltered
 
+  // Scatter–gather fleet observability (schema v4; DESIGN.md §17): one
+  // summary per engine shard, in shard (= global block) order. A
+  // single-engine search carries exactly one entry covering every block.
+  std::vector<ShardSummary> shards;
+
   [[nodiscard]] double prefilter_pass_rate() const {
     return prefilter_sequences == 0
                ? 0.0
@@ -101,11 +125,12 @@ struct SearchReport {
     return scan_ms + assemble_ms + sort_ms;
   }
 
-  /// Machine-readable run report (schema "cublastp.search_report.v3"):
+  /// Machine-readable run report (schema "cublastp.search_report.v4"):
   /// phase times, pipeline totals, work counters, degradation ladder,
   /// hazards, and the full per-kernel profile — everything CI and bench
-  /// scripts previously scraped from stdout. v3 adds the top-level
-  /// `wall_ms` and terminal `status` fields. See core/report.cpp.
+  /// scripts previously scraped from stdout. v3 added the top-level
+  /// `wall_ms` and terminal `status` fields; v4 adds the per-shard
+  /// `shards` section (DESIGN.md §17). See core/report.cpp.
   [[nodiscard]] std::string to_json() const;
 
   /// Human-readable phase/profile tables (util::Table) for --report.

@@ -141,6 +141,10 @@ Config normalized_config(Config config) {
   if (config.cpu_threads == 0) config.cpu_threads = 1;
   if (config.bin_capacity == 0) config.bin_capacity = 256;
   if (config.engine_workers < 1) config.engine_workers = 1;
+  // A fleet cannot usefully exceed the block count; sessions additionally
+  // clamp to their actual split, but the ceiling keeps a typo'd --shards
+  // from constructing thousands of idle engines.
+  config.shards = std::clamp<std::size_t>(config.shards, 1, config.db_blocks);
   if (config.max_bin_retries < 0) config.max_bin_retries = 0;
   if (config.max_bin_capacity <
       static_cast<std::uint32_t>(config.bin_capacity))

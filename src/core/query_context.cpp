@@ -19,12 +19,14 @@ void check_search_limits(std::span<const std::uint8_t> query,
 
 QueryContext::QueryContext(std::span<const std::uint8_t> query_residues,
                            const bio::SequenceDatabase& db,
-                           const Config& config)
+                           const Config& config,
+                           std::optional<bio::SearchSpace> space)
     : query(query_residues),
       lookup(query_residues, bio::Blosum62::instance(), config.params),
       pssm(query_residues, bio::Blosum62::instance()),
       evalue(bio::blosum62_gapped_11_1(), query_residues.size(),
-             db.total_residues(), db.size()),
+             space.has_value() ? space->db_residues : db.total_residues(),
+             space.has_value() ? space->db_sequences : db.size()),
       device(query_residues, lookup, pssm) {}
 
 }  // namespace repro::core

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 
 #include "bio/database.hpp"
@@ -31,8 +32,16 @@ struct QueryContext {
   bio::EvalueCalculator evalue;
   QueryDevice device;
 
+  /// `space`, when set, pins the Karlin–Altschul effective-length
+  /// adjustment to an explicit (aggregate) search space instead of `db`'s
+  /// own statistics. A sharded session passes the fleet-wide totals here so
+  /// every shard — whatever database slice it holds — derives the same
+  /// cutoffs, e-values, and pre-filter threshold as a single-engine search
+  /// over the whole database. Unset: derived from `db` (identical values
+  /// when `db` is the whole database).
   QueryContext(std::span<const std::uint8_t> query_residues,
-               const bio::SequenceDatabase& db, const Config& config);
+               const bio::SequenceDatabase& db, const Config& config,
+               std::optional<bio::SearchSpace> space = std::nullopt);
 };
 
 }  // namespace repro::core

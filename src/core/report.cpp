@@ -1,12 +1,14 @@
 // SearchReport serialization: the machine-readable JSON run report
-// (schema "cublastp.search_report.v3") and the human-readable --report
+// (schema "cublastp.search_report.v4") and the human-readable --report
 // tables. Everything CI and the bench scripts previously scraped from
 // stdout lives here in one stable schema. v2 added the "prefilter" section
 // (mode, threshold, pass rate, per-block backend choices; DESIGN.md §13)
-// and the ssv_prefilter / coarse_fused rows in "gpu_ms"; v3 adds the
+// and the ssv_prefilter / coarse_fused rows in "gpu_ms"; v3 added the
 // top-level "wall_ms" and terminal "status" fields (ok | degraded |
 // cancelled | deadline_exceeded | rejected) so service-layer consumers can
-// read the request's fate without parsing counters.
+// read the request's fate without parsing counters; v4 adds the per-shard
+// "shards" section (scatter–gather fleet observability; DESIGN.md §17) and
+// the batch report's top-level "shards" fleet size.
 #include <algorithm>
 #include <cstdint>
 #include <string>
@@ -45,7 +47,7 @@ void append_kv(std::string& out, const char* key, std::uint64_t value,
 std::string SearchReport::to_json() const {
   std::string out;
   out.reserve(4096);
-  out += "{\"schema\":\"cublastp.search_report.v3\",";
+  out += "{\"schema\":\"cublastp.search_report.v4\",";
 
   // Terminal status + host wall clock (v3).
   out += json_str("status");
@@ -140,6 +142,32 @@ std::string SearchReport::to_json() const {
   }
   out += "]},";
 
+  // Scatter–gather fleet (v4; DESIGN.md §17): one entry per engine shard
+  // in shard (= global block) order. Single-engine searches carry exactly
+  // one entry covering every block, so the shape is K-independent.
+  out += "\"shards\":[";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardSummary& s = shards[i];
+    if (i) out += ',';
+    out += '{';
+    append_kv(out, "shard", static_cast<std::uint64_t>(s.shard));
+    append_kv(out, "first_block", static_cast<std::uint64_t>(s.first_block));
+    append_kv(out, "num_blocks", static_cast<std::uint64_t>(s.num_blocks));
+    append_kv(out, "retry_attempts", s.retry_attempts);
+    append_kv(out, "degraded_blocks", s.degraded_blocks);
+    append_kv(out, "cache_off_retries", s.cache_off_retries);
+    append_kv(out, "bin_overflow_retries", s.bin_overflow_retries);
+    append_kv(out, "prefilter_degraded_blocks", s.prefilter_degraded_blocks);
+    append_kv(out, "kernel_ms", s.kernel_ms);
+    out += "\"backends\":[";
+    for (std::size_t b = 0; b < s.backends.size(); ++b) {
+      if (b) out += ',';
+      out += json_str(block_backend_name(s.backends[b]));
+    }
+    out += "]}";
+  }
+  out += "],";
+
   // simtcheck hazards.
   out += "\"hazards\":{";
   append_kv(out, "total", hazards.total);
@@ -215,8 +243,9 @@ std::string SearchReport::to_json() const {
 std::string BatchReport::to_json() const {
   std::string out;
   out.reserve(4096 * (reports.size() + 1));
-  out += "{\"schema\":\"cublastp.batch_report.v3\",";
+  out += "{\"schema\":\"cublastp.batch_report.v4\",";
   append_kv(out, "queries", static_cast<std::uint64_t>(reports.size()));
+  append_kv(out, "shards", static_cast<std::uint64_t>(shards));
   append_kv(out, "batch_wall_seconds", batch_wall_seconds);
   append_kv(out, "queries_per_second", queries_per_second());
 
@@ -256,7 +285,7 @@ std::string BatchReport::to_json() const {
   }
   out += "],";
 
-  // Full per-query documents, reusing the search_report.v3 schema so every
+  // Full per-query documents, reusing the search_report.v4 schema so every
   // existing consumer of --report-json keeps working per query.
   out += "\"reports\":[";
   for (std::size_t i = 0; i < reports.size(); ++i) {

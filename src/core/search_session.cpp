@@ -1,19 +1,17 @@
 #include "core/search_session.hpp"
 
-#include <cstdlib>
 #include <future>
 #include <memory>
 #include <optional>
-#include <stdexcept>
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "core/coarse_block.hpp"
 #include "core/errors.hpp"
-#include "core/kernels.hpp"
 #include "core/prefilter.hpp"
 #include "core/query_context.hpp"
+#include "core/session_detail.hpp"
+#include "simt/simtcheck.hpp"
 #include "util/fault.hpp"
 #include "util/metrics.hpp"
 #include "util/svccheck.hpp"
@@ -23,137 +21,30 @@
 
 namespace repro::core {
 
-namespace {
-
-/// Modeled GPU time accumulated in `registry` for one kernel name (ms).
-double kernel_ms(const simt::ProfileRegistry& registry, const char* name) {
-  return registry.has(name) ? registry.at(name).time_ms : 0.0;
-}
-
-/// The cancellation checkpoints every successful single-query search must
-/// poll (svccheck coverage contract; DESIGN.md §15). The first three are
-/// unconditional; the per-block ones require at least one database block.
-constexpr const char* kAlwaysCheckpoints[] = {"search.entry", "query.start",
-                                              "finalize"};
-constexpr const char* kPerBlockCheckpoints[] = {
-    "gpu_phase.block", "block_ladder.entry", "cpu_phase.block"};
-
-/// Appends a kCheckpointGap hazard for every required checkpoint the scope
-/// never saw polled.
-void append_checkpoint_gaps(const util::svc::CheckpointScope& scope,
-                            bool has_blocks, simt::HazardReport& sink) {
-  auto append = [&](std::span<const char* const> required) {
-    for (const std::string& name : scope.missing(required)) {
-      simt::HazardRecord record;
-      record.kind = simt::HazardKind::kCheckpointGap;
-      record.kernel = "search";
-      record.detail = "cancellation checkpoint '" + name +
-                      "' was never polled during this search — requests "
-                      "cannot stop at that stage boundary";
-      sink.add(std::move(record));
-    }
-  };
-  append(kAlwaysCheckpoints);
-  if (has_blocks) append(kPerBlockCheckpoints);
-}
-
-/// Config::trace_path / Config::metrics_path fall back to the matching
-/// environment toggle when unset.
-std::string path_or_env(const std::string& configured, const char* env_name) {
-  if (!configured.empty()) return configured;
-  if (const char* env = std::getenv(env_name)) return env;
-  return {};
-}
-
-}  // namespace
-
-/// Everything one in-flight query carries between the GPU half (main
-/// thread) and the CPU half (possibly a batch worker thread).
-struct SearchSession::QueryRun {
-  std::size_t query_index = 0;
-  util::Timer wall;  ///< starts when the run is created (GPU-phase entry)
-  double wall_seconds = 0.0;  ///< set when the CPU half completes
-
-  /// Cooperative stop token, polled at every stage boundary. Empty for
-  /// token-less searches and the whole batch path.
-  CancellationToken cancel;
-
-  std::optional<QueryContext> ctx;
-  SearchReport report;
-
-  // Snapshots for per-query attribution against the shared engine.
-  simt::ProfileRegistry profile_before;
-  simt::ProfileRegistry profile_delta;  ///< taken when the GPU half ends
-  simt::HazardReport hazards;
-  std::uint64_t fires_before = 0;
-
-  double prep_s = 0.0;
-  std::vector<std::vector<blast::UngappedExtension>> block_extensions;
-  std::vector<double> block_fallback_s;
-  std::vector<double> block_gpu_ms;
-
-  /// CPU-half outputs, reset whole at every run_cpu_phases entry so the
-  /// batch path can re-run the stage after an injected worker fault.
-  struct CpuOut {
-    double gapped_s = 0.0;
-    double traceback_s = 0.0;
-    double finalize_s = 0.0;
-    std::uint64_t gapped_extensions = 0;
-    std::uint64_t tracebacks = 0;
-    std::vector<blast::Alignment> alignments;
-    std::vector<ModeledBlock> modeled;
-  } cpu;
-};
+using detail::QueryRun;
 
 SearchSession::SearchSession(Config config, const bio::SequenceDatabase& db)
     : config_(normalized_config(std::move(config))),
       db_(&db),
-      residency_(db, db.split_blocks(config_.db_blocks)) {
+      shard_(config_, db, /*shard_index=*/0, /*first_block=*/0,
+             db.split_blocks(config_.db_blocks)) {
   check_search_limits({}, db);
-  engine_.set_readonly_cache_enabled(config_.use_readonly_cache);
-  engine_.set_workers(config_.engine_workers);
-  if (config_.simtcheck) engine_.set_simtcheck_enabled(true);
   if (config_.svccheck || util::svc::svccheck_env_enabled())
     util::svc::set_svccheck_enabled(true);
   // Everything allocated from here on belongs to this session for
   // leakcheck purposes; see leak_check().
   session_generation_ = simt::begin_device_generation();
-  profiler_.set_device(engine_.spec());
+  profiler_.set_device(shard_.engine().spec());
 }
 
 std::uint64_t SearchSession::leak_check(simt::HazardReport& sink) const {
   return simt::device_leak_check(sink, session_generation_);
 }
 
-std::uint64_t SearchSession::db_device_bytes() const {
-  // Mirrors BlockDevice::h2d_bytes without staging anything: the block's
-  // residues plus its (num_seqs + 1) 32-bit offsets.
-  std::uint64_t bytes = 0;
-  for (std::size_t bi = 0; bi < residency_.num_blocks(); ++bi) {
-    const auto [begin, end] = residency_.range(bi);
-    bytes += db_->offsets()[end] - db_->offsets()[begin];
-    bytes += (end - begin + 1) * sizeof(std::uint32_t);
-  }
-  return bytes;
-}
-
 void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
                                    QueryRun& run, std::size_t query_index) {
   run.query_index = query_index;
   run.fires_before = util::FaultInjector::instance().total_fires();
-  run.profile_before = engine_.profile();
-  engine_.clear_hazards();
-
-  // Install the request's root cancel flag on the engine for the duration
-  // of the GPU half: an in-flight launch then skips its remaining shards
-  // once the client cancels, instead of running them to completion before
-  // the next checkpoint can abort. Cleared on every exit path (a null flag
-  // changes nothing for token-less queries).
-  engine_.set_cancel_flag(run.cancel.root_flag());
-  struct FlagClear {
-    simt::Engine& engine;
-    ~FlagClear() { engine.set_cancel_flag(nullptr); }
-  } flag_clear{engine_};
   run.cancel.throw_if_stopped("query.start");
 
   // --- stage 1: query preparation (the "Other" phase of Fig. 19d) --------
@@ -164,103 +55,44 @@ void SearchSession::run_gpu_phases(std::span<const std::uint8_t> query,
     prep_span.end();
     run.prep_s = prep_timer.seconds();
   }
-  engine_.transfer("h2d_query", run.ctx->device.h2d_bytes());
 
-  const std::size_t num_blocks = residency_.num_blocks();
+  // --- stages 2+3: the shard's GPU half (upload, pre-filter, ladder) -----
+  ShardGpuResult gpu = shard_.run_gpu_blocks(*run.ctx, run.cancel);
 
-  // --- stage 1b: SSV pre-filter table (DESIGN.md §13) --------------------
-  // Built per query (it depends on the PSSM) and uploaded once; every
-  // block's filter launch reads it. A failure here is recoverable: the
-  // whole query degrades to the unfiltered path, never dropping results.
-  std::optional<PrefilterDevice> prefilter;
-  int prefilter_threshold = 0;
   run.report.prefilter_mode = config_.prefilter;
-  if (config_.prefilter != PrefilterMode::kOff) {
-    prefilter_threshold = prefilter_threshold_for(config_, run.ctx->evalue);
-    run.report.prefilter_threshold = prefilter_threshold;
-    try {
-      prefilter.emplace(run.ctx->pssm);
-      engine_.transfer("h2d_prefilter", prefilter->h2d_bytes());
-    } catch (const simt::DeviceError&) {
-      prefilter.reset();
-    } catch (const util::FaultInjectedError&) {
-      prefilter.reset();
-    } catch (const std::bad_alloc&) {
-      prefilter.reset();
-    }
-    if (!prefilter.has_value()) {
-      // Every block of this query is served unfiltered.
-      run.report.prefilter_degraded_blocks = num_blocks;
-      if (util::trace_enabled())
-        util::trace_instant(
-            "degrade.prefilter_off", "degrade",
-            {util::targ("blocks", static_cast<std::uint64_t>(num_blocks))});
-    }
-  }
+  if (config_.prefilter != PrefilterMode::kOff)
+    run.report.prefilter_threshold =
+        prefilter_threshold_for(config_, run.ctx->evalue);
 
-  run.report.retry_counts.assign(num_blocks, 0);
-  run.report.block_backends.reserve(num_blocks);
-  run.block_extensions.resize(num_blocks);
-  run.block_fallback_s.assign(num_blocks, 0.0);
-  run.block_gpu_ms.assign(num_blocks, 0.0);
+  run.shards.clear();
+  run.shards.push_back(summarize_shard(shard_.index(), shard_.first_block(),
+                                       gpu));
 
-  // Bin capacity starts from the configured value for every query (growth
-  // is a per-search adaptation, so session results match one-shot runs).
-  std::uint32_t bin_capacity = static_cast<std::uint32_t>(config_.bin_capacity);
+  run.report.bin_overflow_retries = gpu.bin_overflow_retries;
+  run.report.cache_off_retries = gpu.cache_off_retries;
+  run.report.degraded_blocks = gpu.degraded_blocks;
+  run.report.prefilter_sequences = gpu.prefilter_sequences;
+  run.report.prefilter_survivors = gpu.prefilter_survivors;
+  run.report.prefilter_degraded_blocks = gpu.prefilter_degraded_blocks;
+  run.report.retry_counts = std::move(gpu.retry_counts);
+  run.report.block_backends = std::move(gpu.block_backends);
 
-  // --- stages 2+3: residency + the degradation ladder, block by block ----
-  for (std::size_t bi = 0; bi < num_blocks; ++bi) {
-    run.cancel.throw_if_stopped("gpu_phase.block");
-    const auto [begin, end] = residency_.range(bi);
-    util::TraceSpan block_span;
-    if (util::trace_enabled()) {
-      block_span.open("db_block " + std::to_string(bi), "core");
-      block_span.arg("first_seq", static_cast<std::uint64_t>(begin));
-      block_span.arg("end_seq", static_cast<std::uint64_t>(end));
-    }
-    const double gpu_ms_before = engine_.profile().total_time_ms();
+  auto& counters = run.report.result.counters;
+  counters.hits_detected = gpu.hits_detected;
+  counters.hits_after_filter = gpu.hits_after_filter;
+  counters.ungapped_extensions = gpu.ungapped_extensions;
+  counters.words_scanned = gpu.words_scanned;
 
-    BlockLadderResult ladder = run_block_ladder(
-        engine_, config_, *run.ctx, *db_, residency_, bi, bin_capacity,
-        run.report.bin_overflow_retries,
-        prefilter.has_value() ? &*prefilter : nullptr, prefilter_threshold,
-        run.cancel);
-
-    run.report.retry_counts[bi] = ladder.failed_attempts;
-    if (ladder.cache_off_retry) ++run.report.cache_off_retries;
-    if (ladder.degraded) ++run.report.degraded_blocks;
-    run.report.block_backends.push_back(ladder.backend);
-    run.report.prefilter_sequences += ladder.prefilter_seqs;
-    run.report.prefilter_survivors += ladder.prefilter_survivors;
-    if (ladder.prefilter_degraded) ++run.report.prefilter_degraded_blocks;
-
-    auto& counters = run.report.result.counters;
-    counters.hits_detected += ladder.outcome.hits_detected;
-    counters.hits_after_filter += ladder.outcome.hits_after_filter;
-    counters.ungapped_extensions += ladder.outcome.ungapped_extensions;
-    counters.words_scanned += ladder.words_scanned;
-    run.block_extensions[bi] = std::move(ladder.outcome.extensions);
-    run.block_fallback_s[bi] = ladder.outcome.cpu_fallback_seconds;
-
-    run.block_gpu_ms[bi] = engine_.profile().total_time_ms() - gpu_ms_before;
-    if (util::trace_enabled()) {
-      util::trace_counter("hits_detected_total",
-                          static_cast<double>(counters.hits_detected));
-      util::trace_counter("hits_after_filter_total",
-                          static_cast<double>(counters.hits_after_filter));
-    }
-  }
-
-  // Attribute this query's engine work now: the CPU half never touches the
-  // engine, but in a batch the next query's kernels run before this
-  // query's report is assembled.
-  run.profile_delta = engine_.profile().diff(run.profile_before);
-  run.hazards = engine_.hazards();
+  run.block_extensions = std::move(gpu.block_extensions);
+  run.block_fallback_s = std::move(gpu.block_fallback_s);
+  run.block_gpu_ms = std::move(gpu.block_gpu_ms);
+  run.profile_delta = std::move(gpu.profile_delta);
+  run.hazards = std::move(gpu.hazards);
 }
 
 void SearchSession::run_cpu_phases(QueryRun& run) {
   run.cpu = {};
-  const std::size_t num_blocks = residency_.num_blocks();
+  const std::size_t num_blocks = shard_.num_blocks();
 
   // --- stage 4: gapped extension + traceback, block by block -------------
   for (std::size_t bi = 0; bi < num_blocks; ++bi) {
@@ -308,112 +140,6 @@ void SearchSession::run_cpu_phases(QueryRun& run) {
   run.wall_seconds = run.wall.seconds();
 }
 
-void SearchSession::finish_report(QueryRun& run, bool emit_modeled_trace) {
-  SearchReport& report = run.report;
-  report.result.alignments = std::move(run.cpu.alignments);
-  report.gapped_seconds = run.cpu.gapped_s;
-  report.traceback_seconds = run.cpu.traceback_s;
-  report.result.counters.gapped_extensions = run.cpu.gapped_extensions;
-  report.result.counters.tracebacks = run.cpu.tracebacks;
-  report.other_seconds = run.prep_s + run.cpu.finalize_s;
-
-  report.profile = std::move(run.profile_delta);
-  report.hazards = std::move(run.hazards);
-  report.detection_ms = kernel_ms(report.profile, kKernelDetection);
-  report.scan_ms = kernel_ms(report.profile, kKernelScan);
-  report.assemble_ms = kernel_ms(report.profile, kKernelAssemble);
-  report.sort_ms = kernel_ms(report.profile, kKernelSort);
-  report.filter_ms = kernel_ms(report.profile, kKernelFilter);
-  report.extension_ms = kernel_ms(report.profile, kKernelExtension);
-  report.prefilter_ms = kernel_ms(report.profile, kKernelPrefilter);
-  report.coarse_ms = kernel_ms(report.profile, kKernelCoarse);
-  report.h2d_ms = kernel_ms(report.profile, "h2d_query") +
-                  kernel_ms(report.profile, "h2d_block") +
-                  kernel_ms(report.profile, "h2d_prefilter") +
-                  kernel_ms(report.profile, "h2d_survivors");
-  report.d2h_ms = kernel_ms(report.profile, "d2h_extensions") +
-                  kernel_ms(report.profile, "d2h_prefilter");
-
-  const PipelineTotals totals =
-      walk_pipeline(run.cpu.modeled, config_.cpu_threads, emit_modeled_trace);
-  report.overlapped_total_seconds = totals.overlapped_s + report.other_seconds;
-  report.serial_total_seconds = totals.serial_s + report.other_seconds;
-
-  double fallback_seconds = 0.0;
-  for (const double s : run.block_fallback_s) fallback_seconds += s;
-
-  // Map into the common PhaseTimings (GPU ms -> seconds). Degraded blocks
-  // fold their host-side critical-phase cost into hit detection, where the
-  // work they replaced lives; so do the pre-filter and coarse-backend
-  // kernels, which substitute for (parts of) hit detection.
-  report.result.timings.hit_detection =
-      (report.detection_ms + report.scan_ms + report.assemble_ms +
-       report.sort_ms + report.filter_ms + report.prefilter_ms +
-       report.coarse_ms) /
-          1e3 +
-      fallback_seconds;
-  report.result.timings.ungapped_extension = report.extension_ms / 1e3;
-  report.result.timings.gapped_extension = report.gapped_seconds;
-  report.result.timings.traceback = report.traceback_seconds;
-  report.result.timings.other =
-      report.other_seconds + (report.h2d_ms + report.d2h_ms) / 1e3;
-
-  report.wall_ms = run.wall_seconds * 1e3;
-  report.status = report.degraded() ? "degraded" : "ok";
-
-  report.faults_encountered =
-      util::FaultInjector::instance().total_fires() - run.fires_before;
-  if (util::trace_enabled() && report.faults_encountered > 0)
-    util::trace_instant("faults_absorbed", "degrade",
-                        {util::targ("count", report.faults_encountered)});
-
-  // Metrics are always on (lock-free recording; see util/metrics.hpp) —
-  // only the export is gated on a destination being configured.
-  auto& registry = util::metrics::Registry::instance();
-  registry.counter("core.searches").add(1);
-  registry.counter("core.alignments").add(report.result.alignments.size());
-  registry.counter("core.bin_overflow_retries")
-      .add(report.bin_overflow_retries);
-  registry.counter("core.cache_off_retries").add(report.cache_off_retries);
-  registry.counter("core.degraded_blocks").add(report.degraded_blocks);
-  registry.counter("core.faults_absorbed").add(report.faults_encountered);
-  registry.counter("core.prefilter_sequences").add(report.prefilter_sequences);
-  registry.counter("core.prefilter_survivors").add(report.prefilter_survivors);
-  registry.counter("core.prefilter_degraded_blocks")
-      .add(report.prefilter_degraded_blocks);
-  registry.histogram("core.search_wall_seconds").observe(run.wall_seconds);
-
-  // Continuous profiler: fold this query's per-kernel delta into the
-  // session-lifetime aggregate (simtprof; DESIGN.md §16). Collection is
-  // unconditional — it reads counters the engine already measured, so it
-  // cannot perturb results — and export stays gated on a path.
-  profiler_.record_search(report.profile, report.wall_ms);
-}
-
-void SearchSession::export_metrics() const {
-  const std::string metrics_path =
-      path_or_env(config_.metrics_path, "REPRO_METRICS");
-  if (metrics_path.empty()) return;
-  try {
-    util::metrics::Registry::instance().write_file(metrics_path);
-  } catch (const std::invalid_argument& e) {
-    // The util layer cannot name SearchError (layering); translate here so
-    // a typo'd --metrics path surfaces through the core error taxonomy.
-    throw SearchError(SearchErrorCode::kInvalidArgument, e.what());
-  }
-}
-
-void SearchSession::export_profile() const {
-  const std::string profile_path =
-      path_or_env(config_.profile_path, "REPRO_PROFILE");
-  if (profile_path.empty()) return;
-  try {
-    profiler_.write_file(profile_path);
-  } catch (const std::invalid_argument& e) {
-    throw SearchError(SearchErrorCode::kInvalidArgument, e.what());
-  }
-}
-
 SearchReport SearchSession::search(std::span<const std::uint8_t> query,
                                    const CancellationToken& cancel) {
   check_search_limits(query, *db_);
@@ -435,7 +161,8 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query,
   // Observability session: Config::trace_path, else REPRO_TRACE. If an
   // outer owner (the CLI) already started a session this scope is passive
   // and the outer owner writes the file.
-  const std::string trace_path = path_or_env(config_.trace_path, "REPRO_TRACE");
+  const std::string trace_path =
+      detail::path_or_env(config_.trace_path, "REPRO_TRACE");
   std::optional<util::TraceSession> trace_session;
   if (!trace_path.empty()) trace_session.emplace(trace_path);
 
@@ -454,7 +181,8 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query,
 
     run_gpu_phases(query, run, 0);
     run_cpu_phases(run);
-    finish_report(run, /*emit_modeled_trace=*/true);
+    detail::finish_search_report(run, config_, profiler_,
+                                 /*emit_modeled_trace=*/true);
 
     if (search_span.active()) {
       search_span.arg(
@@ -471,14 +199,16 @@ SearchReport SearchSession::search(std::span<const std::uint8_t> query,
   // leakcheck: any device allocation made during this query and still live
   // now outlived it (the DeviceResidentScope-tagged database image is
   // exempt — outliving queries is its purpose).
-  if (engine_.simtcheck_enabled())
+  if (shard_.engine().simtcheck_enabled())
     simt::device_leak_check(report.hazards, query_generation);
   // svccheck: assert the stage-boundary checkpoint coverage contract.
   if (util::svc::svccheck_enabled())
-    append_checkpoint_gaps(checkpoints, residency_.num_blocks() > 0,
-                           report.hazards);
+    detail::append_checkpoint_gaps(
+        checkpoints, detail::kSearchAlwaysCheckpoints,
+        detail::kSearchPerBlockCheckpoints, shard_.num_blocks() > 0,
+        report.hazards);
 
-  export_metrics();
+  detail::export_metrics_if_configured(config_);
   export_profile();
   return report;
 }
@@ -501,12 +231,13 @@ BatchReport SearchSession::search_batch(
                         config_.fault_seed != 0 ? config_.fault_seed
                                                 : util::default_fault_seed());
 
-  const std::string trace_path = path_or_env(config_.trace_path, "REPRO_TRACE");
+  const std::string trace_path =
+      detail::path_or_env(config_.trace_path, "REPRO_TRACE");
   std::optional<util::TraceSession> trace_session;
   if (!trace_path.empty()) trace_session.emplace(trace_path);
 
-  const std::uint64_t uploads_before = residency_.uploads();
-  const std::uint64_t bytes_before = residency_.uploaded_bytes();
+  const std::uint64_t uploads_before = shard_.block_uploads();
+  const std::uint64_t bytes_before = shard_.resident_bytes();
 
   util::Timer batch_timer;
   util::TraceSpan batch_span("cublastp.search_batch", "core");
@@ -549,7 +280,9 @@ BatchReport SearchSession::search_batch(
     }
   }
 
-  for (auto& run : runs) finish_report(*run, /*emit_modeled_trace=*/false);
+  for (auto& run : runs)
+    detail::finish_search_report(*run, config_, profiler_,
+                                 /*emit_modeled_trace=*/false);
 
   batch.reports.reserve(queries.size());
   batch.per_query_wall_seconds.reserve(queries.size());
@@ -568,12 +301,12 @@ BatchReport SearchSession::search_batch(
   // device buffers) first, then scan. Findings land on the first report —
   // per-query attribution is impossible once queries overlap.
   runs.clear();
-  if (engine_.simtcheck_enabled())
+  if (shard_.engine().simtcheck_enabled())
     simt::device_leak_check(batch.reports[0].hazards, batch_generation);
 
   batch.batch_wall_seconds = batch_timer.seconds();
-  batch.h2d_block_uploads = residency_.uploads() - uploads_before;
-  batch.h2d_block_bytes = residency_.uploaded_bytes() - bytes_before;
+  batch.h2d_block_uploads = shard_.block_uploads() - uploads_before;
+  batch.h2d_block_bytes = shard_.resident_bytes() - bytes_before;
   batch.db_device_bytes = db_device_bytes();
 
   batch.modeled_batch_seconds =
@@ -583,18 +316,18 @@ BatchReport SearchSession::search_batch(
   // upload, priced by the same PCIe model, minus whatever upload time its
   // profile already contains.
   double full_upload_ms = 0.0;
-  for (std::size_t bi = 0; bi < residency_.num_blocks(); ++bi) {
-    const auto [begin, end] = residency_.range(bi);
+  for (std::size_t bi = 0; bi < shard_.num_blocks(); ++bi) {
+    const auto [begin, end] = shard_.block_range(bi);
     const std::uint64_t block_bytes =
         db_->offsets()[end] - db_->offsets()[begin] +
         (end - begin + 1) * sizeof(std::uint32_t);
-    full_upload_ms += engine_.cost_model().transfer_ms(engine_.spec(),
-                                                       block_bytes);
+    full_upload_ms += shard_.engine().cost_model().transfer_ms(
+        shard_.engine().spec(), block_bytes);
   }
   for (const auto& report : batch.reports)
     batch.modeled_sequential_seconds +=
         report.overlapped_total_seconds +
-        (full_upload_ms - kernel_ms(report.profile, "h2d_block")) / 1e3;
+        (full_upload_ms - detail::kernel_ms(report.profile, "h2d_block")) / 1e3;
 
   if (batch_span.active()) {
     batch_span.arg("h2d_block_bytes", batch.h2d_block_bytes);
@@ -609,9 +342,13 @@ BatchReport SearchSession::search_batch(
   registry.counter("core.batch_queries").add(queries.size());
   registry.histogram("core.batch_wall_seconds")
       .observe(batch.batch_wall_seconds);
-  export_metrics();
+  detail::export_metrics_if_configured(config_);
   export_profile();
   return batch;
+}
+
+void SearchSession::export_profile() const {
+  detail::export_profile_if_configured(config_, profiler_);
 }
 
 }  // namespace repro::core

@@ -31,10 +31,15 @@
 #include "core/config.hpp"
 #include "core/cublastp.hpp"
 #include "core/pipeline.hpp"
+#include "core/shard.hpp"
 #include "simt/engine.hpp"
 #include "simt/simtprof.hpp"
 
 namespace repro::core {
+
+namespace detail {
+struct QueryRun;  // per-query in-flight state (session_detail.hpp)
+}  // namespace detail
 
 /// Aggregate result of SearchSession::search_batch: the per-query reports
 /// plus what the batch amortized (database residency) and overlapped
@@ -91,9 +96,13 @@ struct BatchReport {
                : 0.0;
   }
 
+  /// Engine shards the fleet that produced this batch ran (1 for a
+  /// SearchSession; ShardedSession stamps its fleet size). Schema v4.
+  std::size_t shards = 1;
+
   /// One machine-readable document for the whole batch (schema
-  /// "cublastp.batch_report.v3"): batch aggregates, the per-query terminal
-  /// "statuses" array, plus the full per-query search_report.v3 objects.
+  /// "cublastp.batch_report.v4"): batch aggregates, the per-query terminal
+  /// "statuses" array, plus the full per-query search_report.v4 objects.
   /// See core/report.cpp.
   [[nodiscard]] std::string to_json() const;
 };
@@ -137,20 +146,22 @@ class SearchSession {
 
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] const bio::SequenceDatabase& db() const { return *db_; }
-  [[nodiscard]] const simt::Engine& engine() const { return engine_; }
+  [[nodiscard]] const simt::Engine& engine() const { return shard_.engine(); }
 
   /// h2d_block bytes uploaded so far; after any fault-free search this
   /// equals db_device_bytes() and never grows again.
   [[nodiscard]] std::uint64_t resident_bytes() const {
-    return residency_.uploaded_bytes();
+    return shard_.resident_bytes();
   }
   /// Block uploads so far (fault-free: exactly one per block, ever).
   [[nodiscard]] std::uint64_t block_uploads() const {
-    return residency_.uploads();
+    return shard_.block_uploads();
   }
   /// Size of the full database device image — what every one-shot search
   /// pays on the modeled PCIe link before its first kernel.
-  [[nodiscard]] std::uint64_t db_device_bytes() const;
+  [[nodiscard]] std::uint64_t db_device_bytes() const {
+    return shard_.db_device_bytes();
+  }
 
   /// The session's continuous profiler: every finished query's per-kernel
   /// ProfileRegistry delta is folded in (always on — see DESIGN.md §16).
@@ -174,27 +185,22 @@ class SearchSession {
   std::uint64_t leak_check(simt::HazardReport& sink) const;
 
  private:
-  struct QueryRun;  // per-query in-flight state (search_session.cpp)
-
-  /// GPU half of one query: preparation, the h2d_query upload, and every
-  /// block through the degradation ladder. Touches the engine; must run on
-  /// the session's main thread, one query at a time. Polls the run's
-  /// cancellation token at block boundaries.
-  void run_gpu_phases(std::span<const std::uint8_t> query, QueryRun& run,
-                      std::size_t query_index);
+  /// GPU half of one query: preparation, then the shard's h2d_query
+  /// upload and every block through the degradation ladder. Touches the
+  /// engine; must run on the session's main thread, one query at a time.
+  /// Polls the run's cancellation token at block boundaries.
+  void run_gpu_phases(std::span<const std::uint8_t> query,
+                      detail::QueryRun& run, std::size_t query_index);
   /// CPU half: gapped extension + traceback per block, then finalize.
   /// Engine-free and rerun-safe (outputs reset at entry), so the batch
   /// path can run it on a worker thread and retry inline on failure.
-  void run_cpu_phases(QueryRun& run);
-  /// Assembles the SearchReport (profile delta, pipeline walk, timings,
-  /// metrics) from a query whose two halves have both finished.
-  void finish_report(QueryRun& run, bool emit_modeled_trace);
-  void export_metrics() const;
+  void run_cpu_phases(detail::QueryRun& run);
 
   Config config_;
   const bio::SequenceDatabase* db_;
-  simt::Engine engine_;
-  BlockResidency residency_;
+  /// The session *is* the K=1 fleet: one shard owning every block
+  /// (DESIGN.md §17). Engine and residency live inside it.
+  EngineShard shard_;
   simt::prof::ContinuousProfiler profiler_;
   /// Device generation at construction: the floor for leak_check().
   std::uint64_t session_generation_ = 0;

@@ -44,13 +44,25 @@ const char* report_status_label(RequestStatus s) {
   return request_status_name(s);
 }
 
+/// ServiceConfig::shards (when positive) overrides Config::shards before
+/// the fleet is built — the service-level knob wins over the engine-level
+/// default (DESIGN.md §17).
+Config apply_shard_override(Config config, const ServiceConfig& service) {
+  if (service.shards > 0) config.shards = service.shards;
+  return config;
+}
+
 }  // namespace
 
 SearchService::SearchService(Config config, const bio::SequenceDatabase& db,
                              ServiceConfig service_config)
-    : session_(std::move(config), db), service_config_(service_config) {
+    : session_(apply_shard_override(std::move(config), service_config), db),
+      service_config_(service_config) {
   service_config_.queue_capacity =
       std::max<std::size_t>(1, service_config_.queue_capacity);
+  util::metrics::Registry::instance()
+      .gauge("service.shards")
+      .set(static_cast<double>(session_.num_shards()));
   service_config_.backoff_multiplier =
       std::max(1.0, service_config_.backoff_multiplier);
   if (service_config_.backoff_initial_ms < 0.0)
@@ -705,6 +717,17 @@ void SearchService::run_one(Pending& pending) {
           std::span<const std::uint8_t>(pending.request.query), token);
       result.message.clear();
       result.error_code.reset();
+      // Fleet observability (DESIGN.md §17): every completed request
+      // dispatched to each shard once; count shards that degraded so an
+      // operator can spot a persistently sick fleet unit.
+      registry.counter("service.shard.dispatches")
+          .add(result.report.shards.size());
+      std::uint64_t degraded_shards = 0;
+      for (const ShardSummary& shard : result.report.shards)
+        if (shard.degraded_blocks != 0 || shard.cache_off_retries != 0)
+          ++degraded_shards;
+      if (degraded_shards != 0)
+        registry.counter("service.shard.degraded").add(degraded_shards);
       // Fold this request's hazards (simtcheck + leakcheck + checkpoint
       // coverage) into the service-lifetime aggregate. Leaf lock, taken
       // engine-idle — never while mutex_ is held.

@@ -1,0 +1,121 @@
+// EngineShard: one modeled GPU's worth of the search fleet (DESIGN.md §17).
+//
+// A shard owns exactly the per-device state the single-engine SearchSession
+// used to hold inline — a simt::Engine, the device residency of its
+// contiguous database-block slice, and the per-query pre-filter device
+// table — and runs the GPU half of a query over its blocks: the h2d_query
+// upload, the per-query filter table, and every owned block through the
+// degradation ladder. It holds no query-global state: cutoffs and
+// thresholds come from the QueryContext the caller built over the
+// *aggregate* search space (bio::SearchSpace), which is what makes K
+// shards' merged results bit-identical to one engine's.
+//
+//   SearchSession  = one EngineShard covering every block (the K=1 case)
+//   ShardedSession = K EngineShards + scatter–gather (sharded_session.hpp)
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "bio/database.hpp"
+#include "core/cancellation.hpp"
+#include "core/config.hpp"
+#include "core/cublastp.hpp"
+#include "core/pipeline.hpp"
+#include "simt/engine.hpp"
+
+namespace repro::core {
+
+/// Everything one shard's GPU half contributes to a query: per-block
+/// outputs indexed by *local* block (0 = the shard's first block; global
+/// index = first_block() + local), plus shard-total counters and the
+/// shard-engine profile/hazard deltas. Concatenating these in shard order
+/// reproduces the single-engine per-block sequence exactly.
+struct ShardGpuResult {
+  std::vector<std::vector<blast::UngappedExtension>> block_extensions;
+  std::vector<std::uint32_t> retry_counts;   ///< failed attempts per block
+  std::vector<BlockBackend> block_backends;  ///< who served each block
+  std::vector<double> block_fallback_s;
+  std::vector<double> block_gpu_ms;
+
+  std::uint64_t bin_overflow_retries = 0;
+  std::uint64_t cache_off_retries = 0;
+  std::uint64_t degraded_blocks = 0;
+  std::uint64_t prefilter_sequences = 0;
+  std::uint64_t prefilter_survivors = 0;
+  std::uint64_t prefilter_degraded_blocks = 0;
+
+  std::uint64_t hits_detected = 0;
+  std::uint64_t hits_after_filter = 0;
+  std::uint64_t ungapped_extensions = 0;
+  std::uint64_t words_scanned = 0;
+
+  simt::ProfileRegistry profile_delta;  ///< this query's launches, this shard
+  simt::HazardReport hazards;           ///< simtcheck findings, this shard
+};
+
+/// The v4 report's per-shard section for one finished GPU half.
+[[nodiscard]] ShardSummary summarize_shard(std::size_t shard_index,
+                                           std::size_t first_block,
+                                           const ShardGpuResult& gpu);
+
+class EngineShard {
+ public:
+  /// `block_ranges` are [first_seq, end_seq) pairs from the database's
+  /// block split — the contiguous slice this shard owns, starting at
+  /// global block index `first_block`. Sequence indices stay global, so
+  /// extensions and alignments carry fleet-wide identities. The referenced
+  /// config and database must outlive the shard.
+  EngineShard(const Config& config, const bio::SequenceDatabase& db,
+              std::size_t shard_index, std::size_t first_block,
+              std::vector<std::pair<std::size_t, std::size_t>> block_ranges);
+
+  EngineShard(const EngineShard&) = delete;
+  EngineShard& operator=(const EngineShard&) = delete;
+
+  /// The GPU half of one query over this shard's blocks: query upload,
+  /// per-query pre-filter table (failure degrades the shard to the
+  /// unfiltered path — never drops results), then every owned block
+  /// through the degradation ladder with the per-shard bin-capacity
+  /// adaptation. Polls `cancel` at block boundaries and installs its root
+  /// flag on the engine for launch-level cancellation. Thread-safe with
+  /// respect to *other* shards (each owns its engine and device blocks);
+  /// one query at a time per shard.
+  [[nodiscard]] ShardGpuResult run_gpu_blocks(const QueryContext& ctx,
+                                              const CancellationToken& cancel);
+
+  [[nodiscard]] std::size_t index() const { return index_; }
+  [[nodiscard]] std::size_t first_block() const { return first_block_; }
+  [[nodiscard]] std::size_t num_blocks() const {
+    return residency_.num_blocks();
+  }
+  [[nodiscard]] const std::pair<std::size_t, std::size_t>& block_range(
+      std::size_t local_bi) const {
+    return residency_.range(local_bi);
+  }
+
+  [[nodiscard]] simt::Engine& engine() { return engine_; }
+  [[nodiscard]] const simt::Engine& engine() const { return engine_; }
+
+  /// h2d_block bytes this shard has uploaded so far.
+  [[nodiscard]] std::uint64_t resident_bytes() const {
+    return residency_.uploaded_bytes();
+  }
+  [[nodiscard]] std::uint64_t block_uploads() const {
+    return residency_.uploads();
+  }
+  /// Size of this shard's full device image (residues + offsets), whether
+  /// or not it is resident yet.
+  [[nodiscard]] std::uint64_t db_device_bytes() const;
+
+ private:
+  const Config* config_;
+  const bio::SequenceDatabase* db_;
+  std::size_t index_;
+  std::size_t first_block_;
+  simt::Engine engine_;
+  BlockResidency residency_;
+};
+
+}  // namespace repro::core

@@ -236,7 +236,7 @@ TEST(PrefilterReport, JsonCarriesSchemaV3AndPrefilterSection) {
   const auto report = core::CuBlastp(base_config(core::PrefilterMode::kAuto))
                           .search(w.queries[0], w.db);
   const auto json = report.to_json();
-  EXPECT_NE(json.find("\"schema\":\"cublastp.search_report.v3\""),
+  EXPECT_NE(json.find("\"schema\":\"cublastp.search_report.v4\""),
             std::string::npos);
   EXPECT_NE(json.find("\"prefilter\":{"), std::string::npos);
   EXPECT_NE(json.find("\"mode\":\"auto\""), std::string::npos);

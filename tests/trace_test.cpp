@@ -765,7 +765,7 @@ TEST(SearchReport, ToJsonIsStrictlyValidAndComplete) {
   const auto w = make_workload();
   const auto report = core::CuBlastp(small_config()).search(w.query, w.db);
   const JsonValue root = parse_json(report.to_json());
-  EXPECT_EQ(root.at("schema").string, "cublastp.search_report.v3");
+  EXPECT_EQ(root.at("schema").string, "cublastp.search_report.v4");
   EXPECT_EQ(root.at("status").string, "ok");
   EXPECT_GT(root.at("wall_ms").number, 0.0);
   EXPECT_EQ(root.at("prefilter").at("mode").string, "off");
